@@ -1,0 +1,82 @@
+"""Quickstart: run a simulated PigPaxos cluster and compare it with Paxos.
+
+This is the 60-second tour of the library: build a 9-node cluster of each
+protocol with the paper's default workload (1000 uniform keys, 50/50
+reads/writes), drive it with closed-loop clients, and print throughput,
+latency and the leader's message load.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import build_cluster
+from repro.analysis.model import messages_at_leader, paxos_messages_at_leader
+from repro.bench.plots import format_table
+
+NUM_NODES = 9
+NUM_CLIENTS = 60
+DURATION = 0.8  # simulated seconds
+RELAY_GROUPS = 2
+
+
+def run_protocol(protocol: str):
+    cluster = build_cluster(
+        protocol=protocol,
+        num_nodes=NUM_NODES,
+        num_clients=NUM_CLIENTS,
+        relay_groups=RELAY_GROUPS if protocol == "pigpaxos" else None,
+        seed=7,
+    )
+    cluster.run(DURATION)
+
+    completed = cluster.total_completed_requests()
+    latencies = sorted(
+        latency for client in cluster.clients for _, latency in client.stats.completions
+    )
+    mean_latency_ms = 1000 * sum(latencies) / len(latencies)
+    leader = cluster.leader_id()
+    leader_messages = 0.0
+    if leader is not None:
+        leader_messages = (
+            cluster.sim.metrics.counter(f"node.{leader}.messages_in").value
+            + cluster.sim.metrics.counter(f"node.{leader}.messages_out").value
+        ) / max(completed, 1)
+    return {
+        "protocol": protocol,
+        "throughput": completed / DURATION,
+        "latency_ms": mean_latency_ms,
+        "leader_msgs_per_request": leader_messages,
+        "logs_agree": cluster.logs_agree(),
+    }
+
+
+def main() -> None:
+    print(f"Simulating {NUM_NODES}-node clusters with {NUM_CLIENTS} closed-loop clients...\n")
+    results = [run_protocol(protocol) for protocol in ("paxos", "pigpaxos")]
+
+    rows = [
+        [
+            r["protocol"],
+            f"{r['throughput']:.0f}",
+            f"{r['latency_ms']:.2f}",
+            f"{r['leader_msgs_per_request']:.1f}",
+            "yes" if r["logs_agree"] else "NO",
+        ]
+        for r in results
+    ]
+    print(format_table(
+        ["protocol", "throughput (req/s)", "mean latency (ms)", "leader msgs/request", "replicas agree"],
+        rows,
+    ))
+
+    print(
+        "\nAnalytical model (Section 6): the Paxos leader handles "
+        f"{paxos_messages_at_leader(NUM_NODES):.0f} messages per request, the PigPaxos leader "
+        f"only {messages_at_leader(RELAY_GROUPS):.0f} with {RELAY_GROUPS} relay groups -- "
+        "which is exactly why PigPaxos scales further before the leader saturates."
+    )
+
+
+if __name__ == "__main__":
+    main()

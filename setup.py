@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The execution environment has no network access and no ``wheel`` package, so
+PEP 517/660 editable installs (which build a wheel) are unavailable.  Keeping
+a ``setup.py`` lets ``pip install -e .`` fall back to the legacy editable
+install path; all project metadata still lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

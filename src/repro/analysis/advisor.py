@@ -1,0 +1,60 @@
+"""Relay-group configuration advisor.
+
+Encodes the paper's operational findings (Sections 5.3, 6.1-6.2): the leader
+bottleneck shrinks with fewer relay groups, so the best throughput comes from
+the smallest group count that still satisfies fault-tolerance needs; a single
+relay group is fragile (one crashed relay group stalls the round until the
+leader retries), so two groups is the practical minimum, and WAN deployments
+should use one group per region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.analysis.model import leader_overhead, messages_at_leader
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class RelayGroupRecommendation:
+    """The advisor's output, with the model values that justify it."""
+
+    num_groups: int
+    messages_at_leader: float
+    leader_overhead: float
+    rationale: str
+
+
+def recommend_relay_groups(
+    num_nodes: int,
+    num_regions: Optional[int] = None,
+    latency_sensitive: bool = False,
+) -> RelayGroupRecommendation:
+    """Recommend the number of relay groups for a deployment.
+
+    * WAN deployments get one group per region (Section 6.4, Figure 9).
+    * LAN deployments get 2 groups -- the paper's best-throughput setting --
+      or 3 when the caller is latency sensitive (3 groups shrinks each group,
+      shortening the wait for the slowest member at a small throughput cost).
+    """
+    if num_nodes < 3:
+        raise ConfigurationError("PigPaxos needs at least 3 nodes (1 leader + 2 followers)")
+    if num_regions is not None:
+        if num_regions < 1:
+            raise ConfigurationError("num_regions must be >= 1")
+        groups = min(max(num_regions, 1), num_nodes - 1)
+        rationale = "one relay group per region minimizes cross-WAN messages (Section 6.4)"
+    elif latency_sensitive:
+        groups = min(3, num_nodes - 1)
+        rationale = "3 groups shrinks group size, trimming the wait for the slowest follower"
+    else:
+        groups = min(2, num_nodes - 1)
+        rationale = "2 relay groups minimizes the leader bottleneck (Figure 7, Table 1)"
+    return RelayGroupRecommendation(
+        num_groups=groups,
+        messages_at_leader=messages_at_leader(groups),
+        leader_overhead=leader_overhead(num_nodes, groups) if num_nodes > groups + 1 else 0.0,
+        rationale=rationale,
+    )

@@ -1,0 +1,115 @@
+"""The paper's analytical message-load model (Section 6.1-6.3).
+
+For a PigPaxos deployment of ``N`` nodes with ``r`` relay groups:
+
+* the leader handles ``Ml = 2r + 2`` messages per consensus round
+  (formula 1: one client request + one reply, plus a round trip with each of
+  the ``r`` relays);
+* an average follower handles ``Mf = 2(N - r - 1)/(N - 1) + 2`` messages
+  (formulas 2-3: a round trip with its relay, plus -- weighted by the
+  probability ``r/(N-1)`` of being chosen as a relay -- round trips with the
+  ``(N - r - 1)/r`` other members of its group);
+* classical Paxos is the degenerate case ``r = N - 1``.
+
+``message_load_table`` reproduces Tables 1 and 2 exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+
+
+def _validate(n: int, r: int) -> None:
+    if n < 2:
+        raise ConfigurationError("the model needs at least 2 nodes")
+    if not 1 <= r <= n - 1:
+        raise ConfigurationError(f"relay group count must be in [1, N-1]; got r={r}, N={n}")
+
+
+def messages_at_leader(r: int) -> float:
+    """Formula 1: Ml = 2r + 2."""
+    if r < 1:
+        raise ConfigurationError("relay group count must be >= 1")
+    return 2.0 * r + 2.0
+
+
+def messages_at_follower(n: int, r: int) -> float:
+    """Formulas 2-3: Mf = 2(N - r - 1)/(N - 1) + 2."""
+    _validate(n, r)
+    return 2.0 * (n - r - 1) / (n - 1) + 2.0
+
+
+def paxos_messages_at_leader(n: int) -> float:
+    """Classical Paxos leader load: r = N - 1 relay groups of one node each."""
+    if n < 2:
+        raise ConfigurationError("the model needs at least 2 nodes")
+    return messages_at_leader(n - 1)
+
+
+def paxos_messages_at_follower(n: int) -> float:
+    """Classical Paxos follower load (always 2: one P2a in, one P2b out)."""
+    if n < 2:
+        raise ConfigurationError("the model needs at least 2 nodes")
+    return messages_at_follower(n, n - 1)
+
+
+def leader_overhead(n: int, r: int) -> float:
+    """Leader overhead relative to the average follower, as in Tables 1 and 2.
+
+    Returned as a fraction (0.56 means the leader handles 56% more messages
+    than the average follower).
+    """
+    return messages_at_leader(r) / messages_at_follower(n, r) - 1.0
+
+
+def follower_load_limit(r: int = 1) -> float:
+    """Asymptotic follower load as N grows (Section 6.3): approaches 4 for r=1."""
+    if r < 1:
+        raise ConfigurationError("relay group count must be >= 1")
+    return 4.0
+
+
+@dataclass(frozen=True)
+class MessageLoadRow:
+    """One row of Table 1 / Table 2."""
+
+    relay_groups: int
+    messages_at_leader: float
+    messages_at_follower: float
+    leader_overhead: float
+    is_paxos: bool = False
+
+    def label(self) -> str:
+        return f"{self.relay_groups} (Paxos)" if self.is_paxos else str(self.relay_groups)
+
+
+def message_load_table(n: int, relay_group_counts: Optional[Sequence[int]] = None) -> List[MessageLoadRow]:
+    """Reproduce Table 1 (n=25) / Table 2 (n=9) of the paper.
+
+    The final row is always the classical-Paxos degenerate case (r = N - 1).
+    """
+    if relay_group_counts is None:
+        relay_group_counts = [r for r in range(2, 7) if r <= n - 2] or [1]
+    rows = [
+        MessageLoadRow(
+            relay_groups=r,
+            messages_at_leader=messages_at_leader(r),
+            messages_at_follower=messages_at_follower(n, r),
+            leader_overhead=leader_overhead(n, r),
+        )
+        for r in relay_group_counts
+    ]
+    paxos_r = n - 1
+    rows.append(
+        MessageLoadRow(
+            relay_groups=paxos_r,
+            messages_at_leader=paxos_messages_at_leader(n),
+            messages_at_follower=paxos_messages_at_follower(n),
+            leader_overhead=leader_overhead(n, paxos_r),
+            is_paxos=True,
+        )
+    )
+    return rows

@@ -1,0 +1,58 @@
+"""Cross-region WAN traffic model (Section 6.4).
+
+In a geo-replicated deployment where each region hosts one relay group and
+the leader's region also hosts the leader, a PigPaxos write sends exactly one
+message to each remote region (the relay), while Paxos sends one message to
+every remote node.  The paper's example -- 3 regions x 3 nodes -- gives 2
+cross-WAN messages for PigPaxos versus 6 for Paxos per write (per direction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class WANTrafficRow:
+    """Cross-region messages per write operation (one direction)."""
+
+    protocol: str
+    cross_region_messages: int
+    ratio_vs_pigpaxos: float
+
+
+def wan_messages_per_write(regions: Mapping[str, int], leader_region: str, protocol: str) -> int:
+    """Cross-region messages per write for ``protocol`` (fan-out direction only).
+
+    ``regions`` maps region name to node count; the leader lives in
+    ``leader_region``.
+    """
+    if leader_region not in regions:
+        raise ConfigurationError(f"leader region {leader_region!r} not in the deployment")
+    if any(count < 1 for count in regions.values()):
+        raise ConfigurationError("every region needs at least one node")
+    remote_regions = {name: count for name, count in regions.items() if name != leader_region}
+    if protocol == "pigpaxos":
+        # One message per remote region: the leader contacts a single relay there.
+        return len(remote_regions)
+    if protocol == "paxos":
+        # One message per remote node.
+        return sum(remote_regions.values())
+    raise ConfigurationError(f"unknown protocol {protocol!r}")
+
+
+def wan_traffic_table(regions: Mapping[str, int], leader_region: str) -> List[WANTrafficRow]:
+    """Paper Section 6.4 comparison for an arbitrary regional deployment."""
+    pig = wan_messages_per_write(regions, leader_region, "pigpaxos")
+    paxos = wan_messages_per_write(regions, leader_region, "paxos")
+    return [
+        WANTrafficRow(protocol="pigpaxos", cross_region_messages=pig, ratio_vs_pigpaxos=1.0),
+        WANTrafficRow(
+            protocol="paxos",
+            cross_region_messages=paxos,
+            ratio_vs_pigpaxos=paxos / pig if pig else float("inf"),
+        ),
+    ]

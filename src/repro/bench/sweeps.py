@@ -1,0 +1,81 @@
+"""Load sweeps: latency/throughput curves and maximum-throughput search.
+
+The paper produces its latency/throughput plots by increasing the number of
+closed-loop clients until the system saturates; maximum throughput (Figures
+7 and 12) is the plateau of that sweep.  These helpers reproduce exactly that
+methodology on the simulated clusters.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.bench.results import RunResult, SweepResult
+from repro.bench.runner import ExperimentConfig, run_experiment
+
+#: Client counts used when the caller does not specify a sweep.
+DEFAULT_CLIENT_SWEEP: Tuple[int, ...] = (5, 10, 20, 40, 80, 160, 320)
+
+
+def latency_throughput_sweep(
+    config: ExperimentConfig,
+    client_counts: Optional[Sequence[int]] = None,
+    label: Optional[str] = None,
+) -> SweepResult:
+    """Run ``config`` at each client count and collect the resulting curve."""
+    counts = list(client_counts) if client_counts is not None else list(DEFAULT_CLIENT_SWEEP)
+    sweep = SweepResult(label=label or config.label())
+    for count in counts:
+        run = run_experiment(config.with_clients(count))
+        sweep.add(run)
+    return sweep
+
+
+def max_throughput(
+    config: ExperimentConfig,
+    client_counts: Optional[Sequence[int]] = None,
+    improvement_threshold: float = 0.03,
+    label: Optional[str] = None,
+) -> Tuple[RunResult, SweepResult]:
+    """Find the saturation throughput by increasing load until it stops improving.
+
+    Runs the sweep in increasing client-count order and stops early once two
+    consecutive steps improve throughput by less than ``improvement_threshold``
+    (matching how "maximum throughput" is read off a saturating curve).
+    Returns the best run and the full sweep.
+    """
+    counts = sorted(client_counts) if client_counts is not None else list(DEFAULT_CLIENT_SWEEP)
+    sweep = SweepResult(label=label or f"max-throughput {config.label()}")
+    best: Optional[RunResult] = None
+    flat_steps = 0
+    for count in counts:
+        run = run_experiment(config.with_clients(count))
+        sweep.add(run)
+        if best is None or run.throughput > best.throughput * (1.0 + improvement_threshold):
+            if best is not None and run.throughput <= best.throughput * (1.0 + improvement_threshold):
+                flat_steps += 1
+            else:
+                flat_steps = 0
+            if best is None or run.throughput > best.throughput:
+                best = run
+        else:
+            flat_steps += 1
+            if run.throughput > (best.throughput if best else 0.0):
+                best = run
+            if flat_steps >= 2:
+                break
+    assert best is not None  # counts is never empty
+    return best, sweep
+
+
+def compare_protocols(
+    base_config: ExperimentConfig,
+    protocols: Iterable[str],
+    client_counts: Optional[Sequence[int]] = None,
+) -> List[SweepResult]:
+    """Latency/throughput sweeps for several protocols on the same deployment."""
+    sweeps = []
+    for protocol in protocols:
+        config = base_config.with_protocol(protocol)
+        sweeps.append(latency_throughput_sweep(config, client_counts, label=config.label()))
+    return sweeps

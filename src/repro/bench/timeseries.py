@@ -1,0 +1,40 @@
+"""Throughput-over-time measurements (the paper's Figure 13).
+
+The fault-tolerance experiment samples completed requests per one-second
+window across a run during which a node in one relay group is crashed and
+later recovered.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.bench.runner import ExperimentConfig, build_from_config
+from repro.cluster.builder import Cluster
+
+
+def throughput_timeseries(
+    config: ExperimentConfig,
+    interval: float = 1.0,
+    cluster: Optional[Cluster] = None,
+) -> Tuple[List[Tuple[float, float]], Cluster]:
+    """Run ``config`` and return per-interval completion rates.
+
+    Returns ``(series, cluster)`` where ``series`` is a list of
+    ``(window_start_time, requests_per_second)`` tuples covering the whole
+    run, and ``cluster`` is the (already run) cluster for further inspection.
+    """
+    cluster = cluster or build_from_config(config)
+    # Ensure the time-series exists with the requested interval before running.
+    cluster.sim.metrics.timeseries("client.completions", interval=interval)
+    cluster.run(config.duration)
+    series = cluster.sim.metrics.timeseries("client.completions", interval=interval).rates(
+        start=0.0, end=config.duration
+    )
+    return series, cluster
+
+
+def steady_state_rate(series: List[Tuple[float, float]], skip: int = 1) -> float:
+    """Average rate of a time-series, ignoring the first ``skip`` warm-up windows."""
+    useful = [rate for _, rate in series[skip:]]
+    return sum(useful) / len(useful) if useful else 0.0

@@ -1,0 +1,325 @@
+"""Cluster builder: wires simulator, network, nodes, replicas and clients.
+
+``ClusterBuilder`` (or the convenience :func:`build_cluster`) assembles a
+fully configured simulated deployment of one of the three protocols, plus
+closed-loop benchmark clients and an optional fault schedule.  The returned
+:class:`Cluster` is what examples, tests and the benchmark harness run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.cluster.cpu import NodeCPUModel
+from repro.cluster.faults import FaultKind, FaultSchedule
+from repro.cluster.node import SimNode
+from repro.cluster.topologies import lan_topology
+from repro.core.config import PigPaxosConfig
+from repro.core.replica import PigPaxosReplica
+from repro.epaxos.replica import EPaxosReplica
+from repro.errors import ConfigurationError
+from repro.net.faults import NetworkFaults
+from repro.net.network import SimNetwork
+from repro.net.sizes import SizeModel
+from repro.net.topology import Topology
+from repro.paxos.replica import MultiPaxosReplica
+from repro.protocol.config import ProtocolConfig
+from repro.sim.engine import Simulator
+from repro.workload.client import ClosedLoopClient
+from repro.workload.spec import WorkloadSpec
+
+#: Client endpoint ids start here so they never collide with node ids.
+CLIENT_ID_BASE = 1000
+
+PROTOCOLS = ("paxos", "pigpaxos", "epaxos")
+
+
+class Cluster:
+    """A fully wired simulated deployment ready to run."""
+
+    def __init__(
+        self,
+        protocol: str,
+        sim: Simulator,
+        network: SimNetwork,
+        topology: Topology,
+        nodes: Dict[int, SimNode],
+        clients: List[ClosedLoopClient],
+        fault_schedule: Optional[FaultSchedule] = None,
+    ) -> None:
+        self.protocol = protocol
+        self.sim = sim
+        self.network = network
+        self.topology = topology
+        self.nodes = nodes
+        self.clients = clients
+        self.fault_schedule = fault_schedule
+        self._started = False
+
+    # ------------------------------------------------------------------ running
+    def start(self) -> None:
+        """Start replicas, clients and the fault schedule (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        for node in self.nodes.values():
+            node.start()
+        for client in self.clients:
+            client.start()
+        if self.fault_schedule is not None:
+            self._arm_faults(self.fault_schedule)
+
+    def run(self, duration: float) -> float:
+        """Run the simulation until ``duration`` seconds of virtual time."""
+        self.start()
+        return self.sim.run(until=duration)
+
+    def _arm_faults(self, schedule: FaultSchedule) -> None:
+        for event in schedule:
+            self.sim.schedule_at(event.at, self._apply_fault, event)
+
+    def _apply_fault(self, event) -> None:
+        if event.kind is FaultKind.CRASH:
+            self.nodes[event.node].crash()
+        elif event.kind is FaultKind.RECOVER:
+            self.nodes[event.node].recover()
+        elif event.kind is FaultKind.SLUGGISH:
+            self.nodes[event.node].set_sluggish(event.factor)
+        elif event.kind is FaultKind.SEVER_LINK:
+            self.network.faults.sever_link(event.node, event.peer)
+        elif event.kind is FaultKind.HEAL_LINK:
+            self.network.faults.heal_link(event.node, event.peer)
+        elif event.kind is FaultKind.PARTITION:
+            self.network.faults.partition(*event.groups)
+        elif event.kind is FaultKind.HEAL_PARTITION:
+            self.network.faults.heal_partition()
+
+    # ------------------------------------------------------------------ queries
+    @property
+    def node_ids(self) -> Sequence[int]:
+        return self.topology.node_ids
+
+    def replicas(self) -> Dict[int, object]:
+        return {node_id: node.replica for node_id, node in self.nodes.items()}
+
+    def leader_id(self) -> Optional[int]:
+        """The id of the node currently acting as leader (Paxos/PigPaxos)."""
+        for node_id, node in self.nodes.items():
+            if getattr(node.replica, "is_leader", False) and not node.crashed:
+                return node_id
+        return None
+
+    def committed_prefixes(self) -> Dict[int, List[Optional[int]]]:
+        """Gap-free committed command uids per replica (agreement checks)."""
+        prefixes: Dict[int, List[Optional[int]]] = {}
+        for node_id, node in self.nodes.items():
+            log = getattr(node.replica, "log", None)
+            if log is not None:
+                prefixes[node_id] = log.committed_prefix_uids()
+        return prefixes
+
+    def logs_agree(self) -> bool:
+        """True when every pair of replicas agrees on the common committed prefix."""
+        prefixes = list(self.committed_prefixes().values())
+        for i in range(len(prefixes)):
+            for j in range(i + 1, len(prefixes)):
+                a, b = prefixes[i], prefixes[j]
+                common = min(len(a), len(b))
+                if a[:common] != b[:common]:
+                    return False
+        return True
+
+    def total_completed_requests(self) -> int:
+        return sum(client.stats.received for client in self.clients)
+
+    def crash_node(self, node_id: int) -> None:
+        self.nodes[node_id].crash()
+
+    def recover_node(self, node_id: int) -> None:
+        self.nodes[node_id].recover()
+
+
+@dataclass
+class ClusterBuilder:
+    """Fluent builder for :class:`Cluster` instances.
+
+    Example::
+
+        cluster = (ClusterBuilder()
+                   .protocol("pigpaxos")
+                   .nodes(25)
+                   .relay_groups(3)
+                   .clients(100)
+                   .seed(7)
+                   .build())
+        cluster.run(5.0)
+    """
+
+    _protocol: str = "pigpaxos"
+    _num_nodes: int = 5
+    _topology: Optional[Topology] = None
+    _protocol_config: Optional[ProtocolConfig] = None
+    _cpu_model: NodeCPUModel = field(default_factory=NodeCPUModel)
+    _seed: int = 0
+    _num_clients: int = 10
+    _workload: WorkloadSpec = field(default_factory=WorkloadSpec.paper_default)
+    _fault_schedule: Optional[FaultSchedule] = None
+    _client_start_time: float = 0.05
+    _num_relay_groups: Optional[int] = None
+    _use_region_groups: bool = False
+    _drop_probability: float = 0.0
+    _size_model: SizeModel = field(default_factory=SizeModel)
+
+    # ------------------------------------------------------------------ fluent setters
+    def protocol(self, name: str) -> "ClusterBuilder":
+        if name not in PROTOCOLS:
+            raise ConfigurationError(f"unknown protocol {name!r}; expected one of {PROTOCOLS}")
+        self._protocol = name
+        return self
+
+    def nodes(self, count: int) -> "ClusterBuilder":
+        self._num_nodes = count
+        return self
+
+    def topology(self, topology: Topology) -> "ClusterBuilder":
+        self._topology = topology
+        return self
+
+    def protocol_config(self, config: ProtocolConfig) -> "ClusterBuilder":
+        self._protocol_config = config
+        return self
+
+    def cpu_model(self, model: NodeCPUModel) -> "ClusterBuilder":
+        self._cpu_model = model
+        return self
+
+    def seed(self, seed: int) -> "ClusterBuilder":
+        self._seed = seed
+        return self
+
+    def clients(self, count: int, workload: Optional[WorkloadSpec] = None) -> "ClusterBuilder":
+        self._num_clients = count
+        if workload is not None:
+            self._workload = workload
+        return self
+
+    def workload(self, spec: WorkloadSpec) -> "ClusterBuilder":
+        self._workload = spec
+        return self
+
+    def faults(self, schedule: FaultSchedule) -> "ClusterBuilder":
+        self._fault_schedule = schedule
+        return self
+
+    def relay_groups(self, count: int) -> "ClusterBuilder":
+        self._num_relay_groups = count
+        return self
+
+    def region_relay_groups(self, enabled: bool = True) -> "ClusterBuilder":
+        self._use_region_groups = enabled
+        return self
+
+    def message_drop_probability(self, probability: float) -> "ClusterBuilder":
+        self._drop_probability = probability
+        return self
+
+    def client_start_time(self, start_time: float) -> "ClusterBuilder":
+        self._client_start_time = start_time
+        return self
+
+    # ------------------------------------------------------------------ build
+    def build(self) -> Cluster:
+        topology = self._topology or lan_topology(self._num_nodes)
+        sim = Simulator(seed=self._seed)
+        network = SimNetwork(
+            sim,
+            topology,
+            size_model=self._size_model,
+            faults=NetworkFaults(drop_probability=self._drop_probability),
+        )
+
+        nodes: Dict[int, SimNode] = {}
+        for node_id in topology.node_ids:
+            node = SimNode(
+                node_id=node_id,
+                sim=sim,
+                network=network,
+                cpu=self._cpu_model,
+                all_nodes=topology.node_ids,
+            )
+            node.host(self._make_replica(topology))
+            nodes[node_id] = node
+
+        target_policy = "random" if self._protocol == "epaxos" else "leader"
+        clients: List[ClosedLoopClient] = []
+        for index in range(self._num_clients):
+            client = ClosedLoopClient(
+                client_id=CLIENT_ID_BASE + index,
+                sim=sim,
+                network=network,
+                spec=self._workload,
+                targets=list(topology.node_ids),
+                target_policy=target_policy,
+                start_time=self._client_start_time,
+            )
+            clients.append(client)
+
+        return Cluster(
+            protocol=self._protocol,
+            sim=sim,
+            network=network,
+            topology=topology,
+            nodes=nodes,
+            clients=clients,
+            fault_schedule=self._fault_schedule,
+        )
+
+    def _make_replica(self, topology: Topology):
+        if self._protocol == "paxos":
+            config = self._protocol_config or ProtocolConfig()
+            return MultiPaxosReplica(config=config)
+        if self._protocol == "pigpaxos":
+            config = self._protocol_config
+            if config is None or not isinstance(config, PigPaxosConfig):
+                config = PigPaxosConfig()
+            if self._num_relay_groups is not None:
+                config.num_relay_groups = self._num_relay_groups
+            if self._use_region_groups:
+                config.use_region_groups = True
+            return PigPaxosReplica(config=config, region_of=topology.region_map())
+        if self._protocol == "epaxos":
+            return EPaxosReplica()
+        raise ConfigurationError(f"unknown protocol {self._protocol!r}")
+
+
+def build_cluster(
+    protocol: str = "pigpaxos",
+    num_nodes: int = 5,
+    num_clients: int = 10,
+    seed: int = 0,
+    relay_groups: Optional[int] = None,
+    workload: Optional[WorkloadSpec] = None,
+    topology: Optional[Topology] = None,
+    protocol_config: Optional[ProtocolConfig] = None,
+    cpu_model: Optional[NodeCPUModel] = None,
+    fault_schedule: Optional[FaultSchedule] = None,
+    use_region_groups: bool = False,
+) -> Cluster:
+    """One-call convenience wrapper around :class:`ClusterBuilder`."""
+    builder = ClusterBuilder().protocol(protocol).nodes(num_nodes).clients(num_clients).seed(seed)
+    if relay_groups is not None:
+        builder.relay_groups(relay_groups)
+    if workload is not None:
+        builder.workload(workload)
+    if topology is not None:
+        builder.topology(topology)
+    if protocol_config is not None:
+        builder.protocol_config(protocol_config)
+    if cpu_model is not None:
+        builder.cpu_model(cpu_model)
+    if fault_schedule is not None:
+        builder.faults(fault_schedule)
+    if use_region_groups:
+        builder.region_relay_groups(True)
+    return builder.build()

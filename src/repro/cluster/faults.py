@@ -1,0 +1,87 @@
+"""Fault schedules: scripted crashes, recoveries and slowdowns.
+
+The paper's Figure 13 crashes a node in one relay group for a fixed window
+and samples throughput over one-second intervals around it; a
+:class:`FaultSchedule` expresses exactly that kind of script and the cluster
+builder arms it on the simulator before the run starts.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.errors import ConfigurationError
+
+
+class FaultKind(enum.Enum):
+    CRASH = "crash"
+    RECOVER = "recover"
+    SLUGGISH = "sluggish"
+    SEVER_LINK = "sever_link"
+    HEAL_LINK = "heal_link"
+    PARTITION = "partition"
+    HEAL_PARTITION = "heal_partition"
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scripted fault, applied at virtual time ``at``."""
+
+    at: float
+    kind: FaultKind
+    node: Optional[int] = None
+    peer: Optional[int] = None
+    factor: float = 1.0
+    groups: tuple = ()
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ConfigurationError("fault time must be non-negative")
+
+
+class FaultSchedule:
+    """A list of fault events, built fluently and applied by the cluster builder."""
+
+    def __init__(self) -> None:
+        self.events: List[FaultEvent] = []
+
+    def crash(self, node: int, at: float) -> "FaultSchedule":
+        self.events.append(FaultEvent(at=at, kind=FaultKind.CRASH, node=node))
+        return self
+
+    def recover(self, node: int, at: float) -> "FaultSchedule":
+        self.events.append(FaultEvent(at=at, kind=FaultKind.RECOVER, node=node))
+        return self
+
+    def crash_window(self, node: int, start: float, end: float) -> "FaultSchedule":
+        """Crash ``node`` at ``start`` and recover it at ``end`` (Figure 13's shape)."""
+        if end <= start:
+            raise ConfigurationError("crash window end must be after start")
+        return self.crash(node, start).recover(node, end)
+
+    def sluggish(self, node: int, at: float, factor: float, until: Optional[float] = None) -> "FaultSchedule":
+        self.events.append(FaultEvent(at=at, kind=FaultKind.SLUGGISH, node=node, factor=factor))
+        if until is not None:
+            self.events.append(FaultEvent(at=until, kind=FaultKind.SLUGGISH, node=node, factor=1.0))
+        return self
+
+    def sever_link(self, a: int, b: int, at: float, until: Optional[float] = None) -> "FaultSchedule":
+        self.events.append(FaultEvent(at=at, kind=FaultKind.SEVER_LINK, node=a, peer=b))
+        if until is not None:
+            self.events.append(FaultEvent(at=until, kind=FaultKind.HEAL_LINK, node=a, peer=b))
+        return self
+
+    def partition(self, groups, at: float, until: Optional[float] = None) -> "FaultSchedule":
+        groups = tuple(tuple(group) for group in groups)
+        self.events.append(FaultEvent(at=at, kind=FaultKind.PARTITION, groups=groups))
+        if until is not None:
+            self.events.append(FaultEvent(at=until, kind=FaultKind.HEAL_PARTITION))
+        return self
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(sorted(self.events, key=lambda event: event.at))

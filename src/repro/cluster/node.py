@@ -1,0 +1,205 @@
+"""The simulated consensus node.
+
+``SimNode`` is both a network :class:`~repro.net.network.Endpoint` and the
+:class:`~repro.protocol.base.NodeContext` its replica runs against.  Its CPU
+is a single-server queue implemented with a ``busy_until`` reservation: every
+received message, sent message, executed command and unit of protocol
+bookkeeping reserves service time, so a node that must touch many messages
+per round saturates and its queueing delay shows up in client latency --
+exactly the leader bottleneck the paper studies.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, List, Optional, Sequence
+
+from repro.cluster.cpu import NodeCPUModel
+from repro.net.message import Envelope
+from repro.net.network import SimNetwork
+from repro.net.transport import SimTransport
+from repro.protocol.base import Replica, TimerLike
+from repro.protocol.messages import ClientRequest
+from repro.sim.engine import Simulator
+from repro.sim.metrics import MetricsRegistry
+
+
+class SimNode:
+    """A consensus node: CPU queue + transport + hosted replica."""
+
+    def __init__(
+        self,
+        node_id: int,
+        sim: Simulator,
+        network: SimNetwork,
+        cpu: Optional[NodeCPUModel] = None,
+        all_nodes: Optional[Sequence[int]] = None,
+    ) -> None:
+        self.endpoint_id = node_id
+        self._sim = sim
+        self._network = network
+        self._cpu = cpu or NodeCPUModel()
+        self._all_nodes: List[int] = list(all_nodes or [])
+        self._replica: Optional[Replica] = None
+        self._transport = SimTransport(network, node_id, send_hook=self._charged_send)
+        self._rng = sim.random.stream(f"node-{node_id}")
+
+        self._busy_until = 0.0
+        self._crashed = False
+        self._sluggish_factor = 1.0
+        self._busy_time_total = 0.0
+        self._messages_in = sim.metrics.counter(f"node.{node_id}.messages_in")
+        self._messages_out = sim.metrics.counter(f"node.{node_id}.messages_out")
+
+        network.register(self)
+
+    # ------------------------------------------------------------------ wiring
+    def host(self, replica: Replica) -> None:
+        """Attach a protocol replica to this node."""
+        self._replica = replica
+        replica.bind(self)
+
+    @property
+    def replica(self) -> Replica:
+        if self._replica is None:
+            raise RuntimeError(f"node {self.endpoint_id} has no replica attached")
+        return self._replica
+
+    def start(self) -> None:
+        self.replica.start()
+
+    # ------------------------------------------------------------------ NodeContext API
+    @property
+    def node_id(self) -> int:
+        return self.endpoint_id
+
+    @property
+    def all_nodes(self) -> Sequence[int]:
+        return self._all_nodes
+
+    def set_all_nodes(self, node_ids: Sequence[int]) -> None:
+        self._all_nodes = list(node_ids)
+
+    @property
+    def now(self) -> float:
+        return self._sim.now
+
+    @property
+    def rng(self) -> random.Random:
+        return self._rng
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        return self._sim.metrics
+
+    def send(self, dst: int, message: Any) -> None:
+        if self._crashed:
+            return
+        self._transport.send(dst, message)
+
+    def schedule(self, delay: float, callback: Callable[..., Any], *args: Any) -> TimerLike:
+        return self._sim.schedule(delay, self._guarded, callback, args)
+
+    def _guarded(self, callback: Callable[..., Any], args: tuple) -> None:
+        """Timer callbacks registered by the replica are dropped while crashed."""
+        if self._crashed:
+            return
+        callback(*args)
+
+    def charge_execution(self, commands: int = 1) -> None:
+        self._reserve(self._cpu.execution_cost(commands))
+
+    def charge_graph_work(self, vertices: int) -> None:
+        if vertices > 0:
+            self._reserve(self._cpu.graph_cost(vertices))
+
+    def charge_overhead(self, units: float = 1.0) -> None:
+        """Charge protocol bookkeeping (used by EPaxos per handled instance)."""
+        self._reserve(self._cpu.epaxos_bookkeeping_cost * units)
+
+    def charge_seconds(self, seconds: float) -> None:
+        self._reserve(seconds)
+
+    # ------------------------------------------------------------------ CPU model
+    @property
+    def cpu(self) -> NodeCPUModel:
+        return self._cpu
+
+    @property
+    def busy_until(self) -> float:
+        return self._busy_until
+
+    @property
+    def busy_time_total(self) -> float:
+        """Cumulative CPU-seconds consumed; busy_time_total / elapsed = utilization."""
+        return self._busy_time_total
+
+    def _reserve(self, cost: float) -> float:
+        """Reserve ``cost`` seconds on the node's CPU; returns the completion time."""
+        cost *= self._sluggish_factor
+        start = max(self._sim.now, self._busy_until)
+        self._busy_until = start + cost
+        self._busy_time_total += cost
+        return self._busy_until
+
+    # ------------------------------------------------------------------ Endpoint API
+    def is_reachable(self) -> bool:
+        return not self._crashed
+
+    def deliver(self, envelope: Envelope) -> None:
+        if self._crashed:
+            return
+        is_client_request = isinstance(envelope.message, ClientRequest)
+        cost = self._cpu.receive_cost(envelope.size_bytes, is_client_request=is_client_request)
+        ready_at = self._reserve(cost)
+        self._messages_in.increment()
+        self._sim.schedule_at(ready_at, self._handle, envelope)
+
+    def _handle(self, envelope: Envelope) -> None:
+        if self._crashed or self._replica is None:
+            return
+        self._replica.on_message(envelope.src, envelope.message)
+
+    def _charged_send(self, dst: int, message: Any) -> bool:
+        """SimTransport hook: charge CPU for the send, then hand to the network."""
+        if self._crashed:
+            return True
+        size = self._network.size_model.size_of(message)
+        ready_at = self._reserve(self._cpu.send_cost(size))
+        self._messages_out.increment()
+        self._sim.schedule_at(ready_at, self._transport.push_to_network, dst, message)
+        return True
+
+    # ------------------------------------------------------------------ faults
+    @property
+    def crashed(self) -> bool:
+        return self._crashed
+
+    def crash(self) -> None:
+        """Silently stop processing and emitting messages (paper's crash model)."""
+        if self._crashed:
+            return
+        self._crashed = True
+        self.metrics.counter("faults.crashes").increment()
+        if self._replica is not None:
+            self._replica.on_crash()
+
+    def recover(self) -> None:
+        if not self._crashed:
+            return
+        self._crashed = False
+        self._busy_until = self._sim.now
+        self.metrics.counter("faults.recoveries").increment()
+        if self._replica is not None:
+            self._replica.on_recover()
+
+    def set_sluggish(self, factor: float) -> None:
+        """Make the node's CPU ``factor`` times slower (1.0 restores normal speed)."""
+        if factor <= 0:
+            raise ValueError("sluggish factor must be positive")
+        self._sluggish_factor = factor
+        self.metrics.counter("faults.sluggish_changes").increment()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "crashed" if self._crashed else "up"
+        return f"SimNode({self.endpoint_id}, {state})"

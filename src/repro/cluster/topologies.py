@@ -1,0 +1,83 @@
+"""Topology presets matching the paper's deployments.
+
+* :func:`lan_topology` -- a single datacenter/availability zone, used by the
+  5/9/25-node experiments (Figures 7, 8, 10, 11, 12, 13).
+* :func:`wan_topology` -- nodes spread over named regions with a
+  region-to-region latency matrix, used by the 15-node Virginia/California/
+  Oregon experiment (Figure 9).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.net.latency import DEFAULT_WAN_MATRIX, NormalLatency, WANMatrixLatency
+from repro.net.topology import Region, Topology
+
+#: The three AWS regions used in the paper's WAN experiment (Figure 9).
+PAPER_WAN_REGION_NAMES = ("virginia", "california", "oregon")
+
+
+def lan_topology(
+    num_nodes: int,
+    mean_latency: float = 0.00025,
+    jitter: float = 0.00005,
+    bandwidth_bytes_per_sec: Optional[float] = 1.25e9,
+) -> Topology:
+    """A single-datacenter topology with normally distributed link latency."""
+    if num_nodes < 1:
+        raise ConfigurationError("num_nodes must be >= 1")
+    return Topology(
+        node_ids=list(range(num_nodes)),
+        latency=NormalLatency(mean=mean_latency, stddev=jitter, floor=mean_latency / 5),
+        bandwidth_bytes_per_sec=bandwidth_bytes_per_sec,
+    )
+
+
+def paper_wan_regions(num_nodes: int) -> Dict[str, List[int]]:
+    """Assign ``num_nodes`` round-robin to the paper's three WAN regions."""
+    assignment: Dict[str, List[int]] = {name: [] for name in PAPER_WAN_REGION_NAMES}
+    for node in range(num_nodes):
+        assignment[PAPER_WAN_REGION_NAMES[node % len(PAPER_WAN_REGION_NAMES)]].append(node)
+    return assignment
+
+
+def wan_topology(
+    region_nodes: Optional[Dict[str, Sequence[int]]] = None,
+    num_nodes: Optional[int] = None,
+    matrix: Optional[Dict] = None,
+    bandwidth_bytes_per_sec: Optional[float] = 1.25e9,
+) -> Topology:
+    """A multi-region topology.
+
+    Either pass an explicit ``region_nodes`` mapping (region name -> node ids)
+    or just ``num_nodes`` to use the paper's three-region round-robin layout.
+    """
+    if region_nodes is None:
+        if num_nodes is None:
+            raise ConfigurationError("wan_topology needs region_nodes or num_nodes")
+        region_nodes = paper_wan_regions(num_nodes)
+    node_region: Dict[int, str] = {}
+    regions: List[Region] = []
+    all_nodes: List[int] = []
+    for name, nodes in region_nodes.items():
+        nodes = list(nodes)
+        if not nodes:
+            continue
+        regions.append(Region(name=name, nodes=tuple(nodes)))
+        all_nodes.extend(nodes)
+        for node in nodes:
+            node_region[node] = name
+    if not all_nodes:
+        raise ConfigurationError("wan topology has no nodes")
+    latency = WANMatrixLatency(
+        node_region=node_region,
+        matrix=dict(matrix) if matrix is not None else dict(DEFAULT_WAN_MATRIX),
+    )
+    return Topology(
+        node_ids=sorted(all_nodes),
+        latency=latency,
+        bandwidth_bytes_per_sec=bandwidth_bytes_per_sec,
+        regions=regions,
+    )

@@ -1,0 +1,42 @@
+"""PigPaxos -- the paper's primary contribution.
+
+PigPaxos keeps Multi-Paxos' decision making untouched and replaces the
+leader's direct fan-out/fan-in with a relay/aggregate overlay:
+
+* followers are partitioned into *relay groups* (hash/round-robin based, or
+  aligned with WAN regions);
+* each round the leader picks one *random* node per group as the relay;
+* the relay forwards the leader's message to its group peers, collects their
+  responses under a tight timeout (optionally only a threshold of them), and
+  returns a single aggregated message to the leader;
+* the leader retries a round with freshly chosen relays if it cannot reach a
+  quorum in time (relay failure handling, paper Figure 5b).
+
+The implementation subclasses :class:`repro.paxos.replica.MultiPaxosReplica`
+and overrides only the fan-out hooks, mirroring the paper's claim that the
+whole protocol change fits in the message-passing layer.
+"""
+
+from repro.core.config import PigPaxosConfig
+from repro.core.groups import (
+    RelayGroupPlan,
+    contiguous_groups,
+    hash_groups,
+    region_groups,
+    round_robin_groups,
+)
+from repro.core.messages import PigRelayRequest, PigAggregate, RelaySubtree
+from repro.core.replica import PigPaxosReplica
+
+__all__ = [
+    "PigPaxosConfig",
+    "RelayGroupPlan",
+    "contiguous_groups",
+    "hash_groups",
+    "region_groups",
+    "round_robin_groups",
+    "PigRelayRequest",
+    "PigAggregate",
+    "RelaySubtree",
+    "PigPaxosReplica",
+]

@@ -1,0 +1,68 @@
+"""Configuration of the PigPaxos communication overlay."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.protocol.config import ProtocolConfig
+
+
+@dataclass
+class PigPaxosConfig(ProtocolConfig):
+    """PigPaxos knobs on top of the common protocol configuration.
+
+    Attributes:
+        num_relay_groups: Number of relay groups the followers are divided
+            into.  The paper's Figure 7 sweeps 2..6 on a 25-node cluster and
+            finds 2-3 best; ``sqrt(N)`` is the "obvious" but worse strategy.
+        relay_timeout: How long a relay waits for its group peers before
+            flushing whatever it has collected to the leader (the paper's
+            fault experiment uses 50 ms).
+        relay_timeout_decay: Multiplier applied to the timeout per extra tree
+            level below the first (deeper relays must respond sooner so their
+            parents can meet their own deadline -- paper footnote 1).
+        leader_retry_timeout: How long the leader waits for a quorum on a
+            round before re-sending it through freshly selected relays
+            (relay-failure recovery, Figure 5b).
+        group_response_threshold: Optional fraction (0 < x <= 1) of each
+            group that a relay waits for before flushing early (the partial
+            response collection optimization in Section 4.2).  ``None`` means
+            wait for the whole group (the paper's default).
+        relay_levels: Depth of the relay tree.  1 is the paper's single relay
+            layer; 2 nests sub-relays inside each group (Section 6.3).
+        use_region_groups: Align groups with topology regions when regions
+            are available (the WAN deployment of Figure 9).
+        fixed_relays: Disable random rotation and always use the first member
+            of each group as its relay (ablation: shows relay hotspots).
+        group_seed_rotation: When True relays are picked with the leader's
+            per-round RNG; kept as a switch so the ablation benchmark can
+            document the effect of rotation separately from fixed_relays.
+    """
+
+    num_relay_groups: int = 3
+    relay_timeout: float = 0.05
+    relay_timeout_decay: float = 0.5
+    leader_retry_timeout: float = 0.15
+    group_response_threshold: Optional[float] = None
+    relay_levels: int = 1
+    use_region_groups: bool = False
+    fixed_relays: bool = False
+    group_seed_rotation: bool = True
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.num_relay_groups < 1:
+            raise ConfigurationError("num_relay_groups must be >= 1")
+        if self.relay_timeout <= 0:
+            raise ConfigurationError("relay_timeout must be positive")
+        if self.leader_retry_timeout <= self.relay_timeout:
+            raise ConfigurationError(
+                "leader_retry_timeout must exceed relay_timeout, otherwise the leader "
+                "retries before relays have had a chance to flush"
+            )
+        if self.group_response_threshold is not None and not 0.0 < self.group_response_threshold <= 1.0:
+            raise ConfigurationError("group_response_threshold must be in (0, 1]")
+        if self.relay_levels < 1:
+            raise ConfigurationError("relay_levels must be >= 1")

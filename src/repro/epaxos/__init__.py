@@ -1,0 +1,34 @@
+"""EPaxos baseline (Egalitarian Paxos).
+
+Every node can act as a command leader: it pre-accepts a command with a
+sequence number and a dependency set computed from key conflicts, tries the
+fast path through a super-majority quorum, falls back to an explicit accept
+round when replicas report different dependencies, and finally commits.
+Execution orders commands by traversing the dependency graph (strongly
+connected components, sequence-number tiebreak).
+
+The paper uses EPaxos as the "no dedicated leader" comparison point and
+observes that with a small key space (1000 keys picked uniformly) its
+conflict-resolution and dependency-graph work drains every node, capping
+throughput well below Multi-Paxos (Figures 8 and 10).
+"""
+
+from repro.epaxos.replica import EPaxosReplica
+from repro.epaxos.messages import (
+    EPreAccept,
+    EPreAcceptReply,
+    EAccept,
+    EAcceptReply,
+    ECommit,
+)
+from repro.epaxos.graph import DependencyGraph
+
+__all__ = [
+    "EPaxosReplica",
+    "EPreAccept",
+    "EPreAcceptReply",
+    "EAccept",
+    "EAcceptReply",
+    "ECommit",
+    "DependencyGraph",
+]

@@ -1,0 +1,85 @@
+"""EPaxos wire messages.
+
+Instances are identified by ``(replica_id, instance_number)``.  Dependency
+sets and sequence numbers ride along with every message, which is why EPaxos
+messages grow with the conflict rate -- an effect the wire-size model charges
+for via ``payload_bytes``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional, Tuple
+
+from repro.net.message import Message
+from repro.statemachine.command import Command, CommandResult
+
+InstanceId = Tuple[int, int]
+
+
+def _deps_bytes(deps: FrozenSet[InstanceId]) -> int:
+    # Each dependency is a (replica, instance) pair: ~12 bytes encoded.
+    return 12 * len(deps)
+
+
+@dataclass(frozen=True)
+class EPreAccept(Message):
+    """PreAccept sent by the command leader to the other replicas."""
+
+    instance: InstanceId
+    command: Command
+    seq: int
+    deps: FrozenSet[InstanceId]
+
+    def payload_bytes(self) -> int:
+        return self.command.payload_bytes() + _deps_bytes(self.deps)
+
+
+@dataclass(frozen=True)
+class EPreAcceptReply(Message):
+    """A replica's (possibly updated) view of the instance's seq and deps."""
+
+    instance: InstanceId
+    voter: int
+    ok: bool
+    seq: int
+    deps: FrozenSet[InstanceId]
+    changed: bool
+
+    def payload_bytes(self) -> int:
+        return _deps_bytes(self.deps)
+
+
+@dataclass(frozen=True)
+class EAccept(Message):
+    """Slow-path accept carrying the union of dependencies."""
+
+    instance: InstanceId
+    command: Command
+    seq: int
+    deps: FrozenSet[InstanceId]
+
+    def payload_bytes(self) -> int:
+        return self.command.payload_bytes() + _deps_bytes(self.deps)
+
+
+@dataclass(frozen=True)
+class EAcceptReply(Message):
+    """Acknowledgement of the slow-path accept."""
+
+    instance: InstanceId
+    voter: int
+    ok: bool
+
+
+@dataclass(frozen=True)
+class ECommit(Message):
+    """Commit notification broadcast to every replica."""
+
+    instance: InstanceId
+    command: Command
+    seq: int
+    deps: FrozenSet[InstanceId]
+
+    def payload_bytes(self) -> int:
+        return self.command.payload_bytes() + _deps_bytes(self.deps)

@@ -1,0 +1,317 @@
+"""EPaxos replica.
+
+Implements the commit protocol of Egalitarian Paxos (Moraru et al., SOSP'13)
+at the level of detail the paper's comparison needs:
+
+* every replica is an opportunistic command leader for the client requests it
+  receives;
+* PreAccept computes a sequence number and dependency set from per-key
+  conflict tracking, and is sent to all other replicas;
+* the fast path commits after a super-majority of unchanged replies; any
+  changed reply forces the slow path (an Accept round on the union of
+  dependencies followed by commit);
+* commits are broadcast to everyone and executed by walking the dependency
+  graph (SCCs, sequence-number order).
+
+Simplifications relative to the full protocol (documented in DESIGN.md):
+explicit failure recovery of instances (the "explicit prepare" path) is not
+implemented because the paper's EPaxos experiments run without node failures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.epaxos.graph import DependencyGraph
+from repro.epaxos.messages import (
+    EAccept,
+    EAcceptReply,
+    ECommit,
+    EPreAccept,
+    EPreAcceptReply,
+    InstanceId,
+)
+from repro.protocol.base import Replica
+from repro.protocol.messages import ClientReply, ClientRequest
+from repro.quorum.systems import FastQuorum
+from repro.statemachine.command import Command
+from repro.statemachine.kvstore import KVStore
+
+_PREACCEPTED = "preaccepted"
+_ACCEPTED = "accepted"
+_COMMITTED = "committed"
+_EXECUTED = "executed"
+
+
+@dataclass
+class _Instance:
+    """A replica's view of one EPaxos instance."""
+
+    instance: InstanceId
+    command: Command
+    seq: int
+    deps: FrozenSet[InstanceId]
+    status: str = _PREACCEPTED
+    # Command-leader bookkeeping:
+    leader_here: bool = False
+    client_id: Optional[int] = None
+    request_id: int = 0
+    preaccept_replies: int = 0
+    preaccept_changed: bool = False
+    merged_seq: int = 0
+    merged_deps: FrozenSet[InstanceId] = frozenset()
+    accept_replies: int = 0
+
+
+class EPaxosReplica(Replica):
+    """An EPaxos node: opportunistic command leader + acceptor + executor."""
+
+    protocol_name = "epaxos"
+
+    def __init__(self, quorum: Optional[FastQuorum] = None) -> None:
+        super().__init__()
+        self._quorum = quorum
+        self.store = KVStore()
+        self.instances: Dict[InstanceId, _Instance] = {}
+        self.graph = DependencyGraph()
+        self._next_instance = 0
+        # Per-key conflict index: key -> latest instance touching that key.
+        self._key_index: Dict[str, InstanceId] = {}
+        self._pending_execution: Set[InstanceId] = set()
+
+    # ------------------------------------------------------------------ setup
+    @property
+    def quorum(self) -> FastQuorum:
+        if self._quorum is None:
+            self._quorum = FastQuorum(self.cluster_size)
+        return self._quorum
+
+    def start(self) -> None:
+        """EPaxos needs no leader election; nothing to bootstrap."""
+
+    # ------------------------------------------------------------------ dispatch
+    def on_message(self, src: int, message: Any) -> None:
+        if isinstance(message, ClientRequest):
+            self._on_client_request(src, message)
+        elif isinstance(message, EPreAccept):
+            self._on_preaccept(src, message)
+        elif isinstance(message, EPreAcceptReply):
+            self._on_preaccept_reply(src, message)
+        elif isinstance(message, EAccept):
+            self._on_accept(src, message)
+        elif isinstance(message, EAcceptReply):
+            self._on_accept_reply(src, message)
+        elif isinstance(message, ECommit):
+            self._on_commit(src, message)
+        else:
+            self.count("unknown_message")
+
+    # ------------------------------------------------------------------ conflict tracking
+    def _conflicts_for(self, command: Command, exclude: Optional[InstanceId] = None) -> Tuple[int, FrozenSet[InstanceId]]:
+        """Sequence number and dependency set implied by the local key index."""
+        deps: Set[InstanceId] = set()
+        seq = 1
+        last = self._key_index.get(command.key)
+        if last is not None and last != exclude:
+            deps.add(last)
+            last_instance = self.instances.get(last)
+            if last_instance is not None:
+                seq = max(seq, last_instance.seq + 1)
+        return seq, frozenset(deps)
+
+    def _record_key(self, command: Command, instance: InstanceId) -> None:
+        self._key_index[command.key] = instance
+
+    # ------------------------------------------------------------------ command leader path
+    def _on_client_request(self, src: int, msg: ClientRequest) -> None:
+        self.count("client_requests")
+        command = msg.command
+        self._next_instance += 1
+        instance_id: InstanceId = (self.node_id, self._next_instance)
+        seq, deps = self._conflicts_for(command)
+        instance = _Instance(
+            instance=instance_id,
+            command=command,
+            seq=seq,
+            deps=deps,
+            status=_PREACCEPTED,
+            leader_here=True,
+            client_id=command.client_id if command.client_id >= 0 else src,
+            request_id=command.request_id,
+            merged_seq=seq,
+            merged_deps=deps,
+        )
+        self.instances[instance_id] = instance
+        self._record_key(command, instance_id)
+        self.count("instances_led")
+        # Dependency bookkeeping / conflict tracking cost (see NodeCPUModel docs).
+        self.ctx.charge_overhead(1.0)
+
+        if self.cluster_size == 1:
+            self._commit_instance(instance, seq, deps)
+            return
+        preaccept = EPreAccept(instance=instance_id, command=command, seq=seq, deps=deps)
+        self.broadcast(self.peers, preaccept)
+
+    def _on_preaccept_reply(self, src: int, msg: EPreAcceptReply) -> None:
+        instance = self.instances.get(msg.instance)
+        if instance is None or not instance.leader_here or instance.status != _PREACCEPTED:
+            return
+        instance.preaccept_replies += 1
+        instance.merged_seq = max(instance.merged_seq, msg.seq)
+        instance.merged_deps = instance.merged_deps | msg.deps
+        if msg.changed:
+            instance.preaccept_changed = True
+
+        # +1 accounts for the command leader's own vote.
+        if instance.preaccept_replies + 1 >= self.quorum.fast_path_size:
+            if not instance.preaccept_changed:
+                self.count("fast_path_commits")
+                self._commit_instance(instance, instance.seq, instance.deps)
+            else:
+                self.count("slow_path_rounds")
+                instance.status = _ACCEPTED
+                instance.seq = instance.merged_seq
+                instance.deps = instance.merged_deps
+                instance.accept_replies = 0
+                accept = EAccept(
+                    instance=instance.instance,
+                    command=instance.command,
+                    seq=instance.seq,
+                    deps=instance.deps,
+                )
+                self.broadcast(self.peers, accept)
+
+    def _on_accept_reply(self, src: int, msg: EAcceptReply) -> None:
+        instance = self.instances.get(msg.instance)
+        if instance is None or not instance.leader_here or instance.status != _ACCEPTED:
+            return
+        if not msg.ok:
+            return
+        instance.accept_replies += 1
+        if instance.accept_replies + 1 >= self.quorum.phase2_size:
+            self._commit_instance(instance, instance.seq, instance.deps)
+
+    def _commit_instance(self, instance: _Instance, seq: int, deps: FrozenSet[InstanceId]) -> None:
+        if instance.status in (_COMMITTED, _EXECUTED):
+            return
+        instance.status = _COMMITTED
+        instance.seq = seq
+        instance.deps = deps
+        self.graph.add_committed(instance.instance, seq, deps)
+        self.count("instances_committed")
+        if self.peers:
+            commit = ECommit(instance=instance.instance, command=instance.command, seq=seq, deps=deps)
+            self.broadcast(self.peers, commit)
+        self._pending_execution.add(instance.instance)
+        self._try_execute()
+
+    # ------------------------------------------------------------------ acceptor path
+    def _on_preaccept(self, src: int, msg: EPreAccept) -> None:
+        local_seq, local_deps = self._conflicts_for(msg.command, exclude=msg.instance)
+        merged_seq = max(msg.seq, local_seq)
+        merged_deps = msg.deps | local_deps
+        changed = merged_seq != msg.seq or merged_deps != msg.deps
+        instance = _Instance(
+            instance=msg.instance,
+            command=msg.command,
+            seq=merged_seq,
+            deps=merged_deps,
+            status=_PREACCEPTED,
+        )
+        existing = self.instances.get(msg.instance)
+        if existing is None or existing.status == _PREACCEPTED:
+            self.instances[msg.instance] = instance
+        self._record_key(msg.command, msg.instance)
+        self.count("preaccepts_handled")
+        # Dependency bookkeeping / conflict tracking cost (see NodeCPUModel docs).
+        self.ctx.charge_overhead(1.0)
+        reply = EPreAcceptReply(
+            instance=msg.instance,
+            voter=self.node_id,
+            ok=True,
+            seq=merged_seq,
+            deps=merged_deps,
+            changed=changed,
+        )
+        self.send(src, reply)
+
+    def _on_accept(self, src: int, msg: EAccept) -> None:
+        instance = self.instances.get(msg.instance)
+        if instance is None:
+            instance = _Instance(instance=msg.instance, command=msg.command, seq=msg.seq, deps=msg.deps)
+            self.instances[msg.instance] = instance
+        if instance.status not in (_COMMITTED, _EXECUTED):
+            instance.seq = msg.seq
+            instance.deps = msg.deps
+            instance.status = _ACCEPTED
+        self._record_key(msg.command, msg.instance)
+        self.send(src, EAcceptReply(instance=msg.instance, voter=self.node_id, ok=True))
+
+    def _on_commit(self, src: int, msg: ECommit) -> None:
+        instance = self.instances.get(msg.instance)
+        if instance is None:
+            instance = _Instance(instance=msg.instance, command=msg.command, seq=msg.seq, deps=msg.deps)
+            self.instances[msg.instance] = instance
+        if instance.status == _EXECUTED:
+            return
+        instance.seq = msg.seq
+        instance.deps = msg.deps
+        instance.status = _COMMITTED
+        self._record_key(msg.command, msg.instance)
+        self.graph.add_committed(msg.instance, msg.seq, msg.deps)
+        self._pending_execution.add(msg.instance)
+        self._try_execute()
+
+    # ------------------------------------------------------------------ execution
+    def _try_execute(self) -> None:
+        """Attempt to execute every committed-but-unexecuted instance we know of."""
+        if not self._pending_execution:
+            return
+        progressed = True
+        total_visited = 0
+        while progressed:
+            progressed = False
+            for instance_id in sorted(self._pending_execution):
+                order, visited = self.graph.execution_order(instance_id)
+                total_visited += visited
+                if not order:
+                    continue
+                for ready_id in order:
+                    self._execute_instance(ready_id)
+                    self._pending_execution.discard(ready_id)
+                progressed = True
+        if total_visited:
+            self.ctx.charge_graph_work(total_visited)
+
+    def _execute_instance(self, instance_id: InstanceId) -> None:
+        instance = self.instances.get(instance_id)
+        if instance is None or instance.status == _EXECUTED:
+            return
+        result = self.store.apply(instance.command)
+        self.ctx.charge_execution(1)
+        instance.status = _EXECUTED
+        self.graph.mark_executed(instance_id)
+        self.count("instances_executed")
+        if instance.leader_here and instance.client_id is not None:
+            reply = ClientReply(
+                command_uid=instance.command.uid,
+                request_id=instance.request_id,
+                client_id=instance.client_id,
+                success=True,
+                result=result,
+            )
+            self.send(instance.client_id, reply)
+            self.count("client_replies")
+
+    # ------------------------------------------------------------------ introspection
+    def status(self) -> Dict[str, object]:
+        return {
+            "node": self.node_id,
+            "instances": len(self.instances),
+            "committed": self.graph.committed_count,
+            "executed": self.graph.executed_count,
+            "pending_execution": len(self._pending_execution),
+            "kv_size": len(self.store),
+        }

@@ -1,0 +1,39 @@
+"""Simulated network substrate.
+
+Models what the Paxi testbed's real network provided: point-to-point message
+delivery with per-link latency, per-byte transmission cost, message drops,
+partitions and crashed endpoints.  Protocol code talks to the network only
+through the :class:`~repro.net.transport.Transport` interface, which is also
+implemented by the asyncio runtime in :mod:`repro.runtime`.
+"""
+
+from repro.net.message import Envelope, Message
+from repro.net.sizes import SizeModel
+from repro.net.latency import (
+    LatencyModel,
+    ConstantLatency,
+    UniformLatency,
+    NormalLatency,
+    WANMatrixLatency,
+)
+from repro.net.topology import Topology, Region
+from repro.net.faults import NetworkFaults
+from repro.net.network import SimNetwork
+from repro.net.transport import Transport, SimTransport
+
+__all__ = [
+    "Envelope",
+    "Message",
+    "SizeModel",
+    "LatencyModel",
+    "ConstantLatency",
+    "UniformLatency",
+    "NormalLatency",
+    "WANMatrixLatency",
+    "Topology",
+    "Region",
+    "NetworkFaults",
+    "SimNetwork",
+    "Transport",
+    "SimTransport",
+]

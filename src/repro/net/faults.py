@@ -1,0 +1,76 @@
+"""Network-level fault injection: drops, partitions and severed links.
+
+Node crashes are modelled at the node level (:mod:`repro.cluster.node`);
+the faults here affect the fabric between live nodes.  The paper's failure
+experiment (Figure 13) crashes a node outright, but link-level faults are
+needed for the liveness/partition tests and the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, FrozenSet, Iterable, Set, Tuple
+
+
+class NetworkFaults:
+    """Mutable record of currently active network faults."""
+
+    def __init__(self, drop_probability: float = 0.0) -> None:
+        if not 0.0 <= drop_probability < 1.0:
+            raise ValueError("drop_probability must be in [0, 1)")
+        self.drop_probability = drop_probability
+        self._severed: Set[Tuple[int, int]] = set()
+        self._partitions: list[FrozenSet[int]] = []
+
+    # ------------------------------------------------------------- links
+    def sever_link(self, a: int, b: int) -> None:
+        """Block traffic in both directions between nodes ``a`` and ``b``."""
+        self._severed.add((a, b))
+        self._severed.add((b, a))
+
+    def heal_link(self, a: int, b: int) -> None:
+        self._severed.discard((a, b))
+        self._severed.discard((b, a))
+
+    def link_severed(self, a: int, b: int) -> bool:
+        return (a, b) in self._severed
+
+    # ------------------------------------------------------------- partitions
+    def partition(self, *groups: Iterable[int]) -> None:
+        """Split the cluster so only nodes within the same group can talk.
+
+        Nodes not mentioned in any group remain able to talk to everyone
+        (matching the common "isolate these nodes" experiment shape).
+        """
+        self._partitions = [frozenset(group) for group in groups]
+
+    def heal_partition(self) -> None:
+        self._partitions = []
+
+    def partitioned(self, src: int, dst: int) -> bool:
+        if not self._partitions:
+            return False
+        src_group = next((g for g in self._partitions if src in g), None)
+        dst_group = next((g for g in self._partitions if dst in g), None)
+        if src_group is None or dst_group is None:
+            return False
+        return src_group is not dst_group
+
+    # ------------------------------------------------------------- verdict
+    def should_drop(self, src: int, dst: int, rng: random.Random) -> bool:
+        """Decide whether a message from src to dst is lost."""
+        if self.link_severed(src, dst):
+            return True
+        if self.partitioned(src, dst):
+            return True
+        if self.drop_probability > 0.0 and rng.random() < self.drop_probability:
+            return True
+        return False
+
+    def active_faults(self) -> Dict[str, object]:
+        """Human-readable snapshot (used in test assertions and logs)."""
+        return {
+            "drop_probability": self.drop_probability,
+            "severed_links": sorted({tuple(sorted(pair)) for pair in self._severed}),
+            "partitions": [sorted(group) for group in self._partitions],
+        }

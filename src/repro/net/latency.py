@@ -1,0 +1,135 @@
+"""One-way network latency models.
+
+The paper evaluates both a single-datacenter (LAN) setting and a WAN setting
+spanning the AWS Virginia, California and Oregon regions.  The latency models
+here cover both: simple constant/jittered latencies for LAN links, and a
+region-to-region matrix for WAN links.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+
+class LatencyModel(ABC):
+    """Computes the one-way propagation delay between two nodes."""
+
+    @abstractmethod
+    def delay(self, src: int, dst: int, rng: random.Random) -> float:
+        """Return the one-way delay in seconds for a message from src to dst."""
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+@dataclass(frozen=True)
+class ConstantLatency(LatencyModel):
+    """A fixed one-way delay for every pair of distinct nodes."""
+
+    one_way: float = 0.00025
+
+    def delay(self, src: int, dst: int, rng: random.Random) -> float:
+        if src == dst:
+            return 0.0
+        return self.one_way
+
+
+@dataclass(frozen=True)
+class UniformLatency(LatencyModel):
+    """One-way delay drawn uniformly from ``[low, high]``."""
+
+    low: float = 0.0002
+    high: float = 0.0004
+
+    def __post_init__(self) -> None:
+        if self.low < 0 or self.high < self.low:
+            raise ConfigurationError(
+                f"invalid uniform latency bounds: low={self.low!r} high={self.high!r}"
+            )
+
+    def delay(self, src: int, dst: int, rng: random.Random) -> float:
+        if src == dst:
+            return 0.0
+        return rng.uniform(self.low, self.high)
+
+
+@dataclass(frozen=True)
+class NormalLatency(LatencyModel):
+    """One-way delay drawn from a truncated normal distribution."""
+
+    mean: float = 0.00025
+    stddev: float = 0.00005
+    floor: float = 0.00005
+
+    def delay(self, src: int, dst: int, rng: random.Random) -> float:
+        if src == dst:
+            return 0.0
+        return max(self.floor, rng.gauss(self.mean, self.stddev))
+
+
+# Approximate one-way inter-region latencies (seconds) between the AWS regions
+# used in the paper's Figure 9: us-east-1 (Virginia), us-west-1 (California),
+# us-west-2 (Oregon).  Values reflect publicly reported RTTs divided by two.
+DEFAULT_WAN_MATRIX: Dict[Tuple[str, str], float] = {
+    ("virginia", "virginia"): 0.00025,
+    ("california", "california"): 0.00025,
+    ("oregon", "oregon"): 0.00025,
+    ("virginia", "california"): 0.031,
+    ("virginia", "oregon"): 0.034,
+    ("california", "oregon"): 0.010,
+}
+
+
+@dataclass
+class WANMatrixLatency(LatencyModel):
+    """Region-to-region latency matrix with per-node region assignment.
+
+    Attributes:
+        node_region: Maps node id to region name.
+        matrix: One-way latency between region pairs.  Symmetric lookups are
+            performed automatically; intra-region latency falls back to
+            ``local_one_way`` if no explicit entry exists.
+        jitter: Fractional uniform jitter applied to each draw (0.05 = +/-5%).
+    """
+
+    node_region: Mapping[int, str]
+    matrix: Mapping[Tuple[str, str], float] = field(default_factory=lambda: dict(DEFAULT_WAN_MATRIX))
+    local_one_way: float = 0.00025
+    jitter: float = 0.05
+
+    def region_of(self, node: int) -> str:
+        try:
+            return self.node_region[node]
+        except KeyError as exc:
+            raise ConfigurationError(f"node {node!r} has no region assignment") from exc
+
+    def base_delay(self, src: int, dst: int) -> float:
+        if src == dst:
+            return 0.0
+        # Endpoints without a region assignment (benchmark clients) are treated
+        # as co-located with whatever node they are talking to, mirroring the
+        # paper's setup where client VMs sit next to the replicas they drive.
+        if src not in self.node_region or dst not in self.node_region:
+            return self.local_one_way
+        region_a, region_b = self.region_of(src), self.region_of(dst)
+        value = self.matrix.get((region_a, region_b))
+        if value is None:
+            value = self.matrix.get((region_b, region_a))
+        if value is None:
+            if region_a == region_b:
+                return self.local_one_way
+            raise ConfigurationError(
+                f"no latency entry between regions {region_a!r} and {region_b!r}"
+            )
+        return value
+
+    def delay(self, src: int, dst: int, rng: random.Random) -> float:
+        base = self.base_delay(src, dst)
+        if base == 0.0 or self.jitter <= 0.0:
+            return base
+        return base * rng.uniform(1.0 - self.jitter, 1.0 + self.jitter)

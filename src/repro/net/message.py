@@ -1,0 +1,72 @@
+"""Message and envelope types exchanged between nodes.
+
+A :class:`Message` is any protocol-level payload (Phase-1a, Phase-2b, a relay
+aggregate, a client request...).  The network wraps it in an
+:class:`Envelope` carrying addressing and accounting information: sender,
+destination, wire size in bytes, send time, and a monotonically increasing
+message id used for tracing.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+
+class Message:
+    """Base class for every protocol message.
+
+    Subclasses are plain dataclasses in the protocol packages.  ``kind``
+    defaults to the class name and is used for metrics and wire encoding.
+    """
+
+    __slots__ = ()
+
+    @property
+    def kind(self) -> str:
+        return type(self).__name__
+
+    def payload_bytes(self) -> int:
+        """Size of the variable-length payload carried by this message (bytes).
+
+        Subclasses carrying user data (commands, values, batched responses)
+        override this; the default is zero, meaning the message is just
+        protocol metadata whose size is covered by the fixed header estimate
+        in :class:`~repro.net.sizes.SizeModel`.
+        """
+        return 0
+
+
+_envelope_ids = itertools.count(1)
+
+
+@dataclass
+class Envelope:
+    """A message in flight between two endpoints."""
+
+    src: int
+    dst: int
+    message: Any
+    size_bytes: int = 0
+    send_time: float = 0.0
+    msg_id: int = field(default_factory=lambda: next(_envelope_ids))
+
+    @property
+    def kind(self) -> str:
+        message_kind = getattr(self.message, "kind", None)
+        if message_kind is not None:
+            return message_kind
+        return type(self.message).__name__
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Envelope(#{self.msg_id} {self.kind} {self.src}->{self.dst} "
+            f"{self.size_bytes}B @{self.send_time:.6f})"
+        )
+
+
+def reset_envelope_ids() -> None:
+    """Reset the global envelope id counter (used by tests for determinism)."""
+    global _envelope_ids
+    _envelope_ids = itertools.count(1)

@@ -1,0 +1,139 @@
+"""The simulated network fabric.
+
+``SimNetwork`` connects endpoints (consensus nodes and clients).  Sending a
+message:
+
+1. asks the :class:`~repro.net.sizes.SizeModel` for the wire size,
+2. consults :class:`~repro.net.faults.NetworkFaults` (drops, partitions),
+3. computes delivery time = one-way latency + transmission time, and
+4. schedules delivery into the destination endpoint's inbox.
+
+CPU cost of sending/receiving is *not* modelled here; it is charged by the
+node model (:mod:`repro.cluster.node`), because that per-message processing
+cost at the leader is exactly the bottleneck the paper is about.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional, Protocol
+
+from repro.errors import NetworkError
+from repro.net.faults import NetworkFaults
+from repro.net.message import Envelope
+from repro.net.sizes import SizeModel
+from repro.net.topology import Topology
+from repro.sim.engine import Simulator
+
+
+class Endpoint(Protocol):
+    """Anything that can receive envelopes from the network."""
+
+    endpoint_id: int
+
+    def deliver(self, envelope: Envelope) -> None:
+        """Accept an envelope arriving off the wire."""
+
+    def is_reachable(self) -> bool:
+        """False when the endpoint is crashed and should black-hole traffic."""
+
+
+class SimNetwork:
+    """Delivers envelopes between registered endpoints with latency and faults."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: Topology,
+        size_model: Optional[SizeModel] = None,
+        faults: Optional[NetworkFaults] = None,
+    ) -> None:
+        self._sim = sim
+        self._topology = topology
+        self._size_model = size_model or SizeModel()
+        self._faults = faults or NetworkFaults()
+        self._endpoints: Dict[int, Endpoint] = {}
+        self._rng = sim.random.stream("network")
+        self._metrics = sim.metrics
+        # Hot-path counters are resolved once; per-kind counters are looked up
+        # lazily but cached so the send path avoids repeated string formatting.
+        self._sent_counter = self._metrics.counter("net.messages_sent")
+        self._bytes_counter = self._metrics.counter("net.bytes_sent")
+        self._dropped_counter = self._metrics.counter("net.messages_dropped")
+        self._delivered_counter = self._metrics.counter("net.messages_delivered")
+        self._undeliverable_counter = self._metrics.counter("net.messages_undeliverable")
+        self._kind_counters: Dict[str, object] = {}
+
+    # ----------------------------------------------------------------- wiring
+    @property
+    def topology(self) -> Topology:
+        return self._topology
+
+    @property
+    def faults(self) -> NetworkFaults:
+        return self._faults
+
+    @property
+    def size_model(self) -> SizeModel:
+        return self._size_model
+
+    def register(self, endpoint: Endpoint) -> None:
+        endpoint_id = endpoint.endpoint_id
+        if endpoint_id in self._endpoints:
+            raise NetworkError(f"endpoint {endpoint_id} is already registered")
+        self._endpoints[endpoint_id] = endpoint
+
+    def endpoint(self, endpoint_id: int) -> Endpoint:
+        try:
+            return self._endpoints[endpoint_id]
+        except KeyError as exc:
+            raise NetworkError(f"unknown endpoint {endpoint_id}") from exc
+
+    def endpoints(self) -> Dict[int, Endpoint]:
+        return dict(self._endpoints)
+
+    # ----------------------------------------------------------------- sending
+    def send(self, src: int, dst: int, message: Any) -> Envelope:
+        """Send ``message`` from ``src`` to ``dst``; returns the envelope.
+
+        The envelope is returned even when the message is dropped so callers
+        (and tests) can account for attempted sends.
+        """
+        if dst not in self._endpoints:
+            raise NetworkError(f"cannot send to unknown endpoint {dst}")
+        size = self._size_model.size_of(message)
+        envelope = Envelope(
+            src=src,
+            dst=dst,
+            message=message,
+            size_bytes=size,
+            send_time=self._sim.now,
+        )
+        self._sent_counter.increment()
+        self._bytes_counter.increment(size)
+        kind = envelope.kind
+        kind_counter = self._kind_counters.get(kind)
+        if kind_counter is None:
+            kind_counter = self._metrics.counter(f"net.sent.{kind}")
+            self._kind_counters[kind] = kind_counter
+        kind_counter.increment()
+
+        if self._faults.should_drop(src, dst, self._rng):
+            self._dropped_counter.increment()
+            return envelope
+
+        delay = self._delivery_delay(src, dst, size)
+        self._sim.schedule(delay, self._deliver, envelope)
+        return envelope
+
+    def _delivery_delay(self, src: int, dst: int, size_bytes: int) -> float:
+        propagation = self._topology.latency.delay(src, dst, self._rng)
+        transmission = self._topology.transmission_delay(size_bytes)
+        return propagation + transmission
+
+    def _deliver(self, envelope: Envelope) -> None:
+        endpoint = self._endpoints.get(envelope.dst)
+        if endpoint is None or not endpoint.is_reachable():
+            self._undeliverable_counter.increment()
+            return
+        self._delivered_counter.increment()
+        endpoint.deliver(envelope)

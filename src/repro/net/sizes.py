@@ -1,0 +1,36 @@
+"""Wire-size model for protocol messages.
+
+The paper's Section 5.6 shows throughput degrading with payload size for both
+Paxos and PigPaxos; to reproduce that, every message is assigned a wire size:
+
+    size = header_bytes + payload_bytes
+
+``payload_bytes`` comes from the message itself (``Message.payload_bytes``),
+so an aggregated PigPaxos response containing k follower votes is bigger than
+a single vote, and a Phase-2a carrying a 1280-byte value is bigger than one
+carrying an 8-byte value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True)
+class SizeModel:
+    """Estimates the number of bytes a message occupies on the wire.
+
+    Attributes:
+        header_bytes: Fixed per-message overhead (framing, ballot, slot ids,
+            addressing).  64 bytes approximates Paxi's gob-encoded headers.
+    """
+
+    header_bytes: int = 64
+
+    def size_of(self, message: Any) -> int:
+        payload = 0
+        payload_fn = getattr(message, "payload_bytes", None)
+        if callable(payload_fn):
+            payload = int(payload_fn())
+        return self.header_bytes + max(0, payload)

@@ -1,0 +1,82 @@
+"""Cluster topology descriptions: which nodes exist and where they live.
+
+A topology knows the node ids, the optional region of each node (used for
+WAN latency and region-aligned PigPaxos relay groups), the latency model and
+the per-link bandwidth.  Topology presets matching the paper's deployments
+live in :mod:`repro.cluster.topologies`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.net.latency import ConstantLatency, LatencyModel
+
+
+@dataclass(frozen=True)
+class Region:
+    """A named group of co-located nodes (e.g. an AWS region)."""
+
+    name: str
+    nodes: tuple
+
+    def __contains__(self, node: int) -> bool:
+        return node in self.nodes
+
+
+@dataclass
+class Topology:
+    """Static description of the cluster's communication fabric.
+
+    Attributes:
+        node_ids: All consensus node ids (clients get separate ids).
+        latency: One-way latency model.
+        bandwidth_bytes_per_sec: Per-link bandwidth used to charge
+            transmission time for large messages.  ``None`` disables the
+            bandwidth term (latency only).
+        regions: Optional region grouping of nodes.
+    """
+
+    node_ids: Sequence[int]
+    latency: LatencyModel = field(default_factory=ConstantLatency)
+    bandwidth_bytes_per_sec: Optional[float] = 1.25e9 / 8 * 8  # 1.25 GB/s (10 Gbit)
+    regions: List[Region] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        ids = list(self.node_ids)
+        if len(ids) != len(set(ids)):
+            raise ConfigurationError("duplicate node ids in topology")
+        if not ids:
+            raise ConfigurationError("topology needs at least one node")
+        self.node_ids = tuple(ids)
+        covered = [n for region in self.regions for n in region.nodes]
+        if covered and len(covered) != len(set(covered)):
+            raise ConfigurationError("a node is assigned to more than one region")
+
+    @property
+    def size(self) -> int:
+        return len(self.node_ids)
+
+    def region_of(self, node: int) -> Optional[str]:
+        for region in self.regions:
+            if node in region:
+                return region.name
+        return None
+
+    def region_map(self) -> Dict[int, str]:
+        """Node id -> region name for all nodes covered by a region."""
+        return {node: region.name for region in self.regions for node in region.nodes}
+
+    def nodes_in_region(self, name: str) -> List[int]:
+        for region in self.regions:
+            if region.name == name:
+                return list(region.nodes)
+        raise ConfigurationError(f"unknown region {name!r}")
+
+    def transmission_delay(self, size_bytes: int) -> float:
+        """Serialization/transmission time for ``size_bytes`` on one link."""
+        if not self.bandwidth_bytes_per_sec:
+            return 0.0
+        return size_bytes / self.bandwidth_bytes_per_sec

@@ -1,0 +1,63 @@
+"""Transport abstraction used by protocol replicas.
+
+Replicas never talk to :class:`~repro.net.network.SimNetwork` directly; they
+use a :class:`Transport`, which is also what the asyncio runtime implements.
+This keeps the protocol code identical between simulation and real sockets,
+mirroring how the paper's implementation reused Paxi's networking layer.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Iterable, Sequence
+
+
+class Transport(ABC):
+    """Send-side interface handed to a protocol replica."""
+
+    @abstractmethod
+    def send(self, dst: int, message: Any) -> None:
+        """Send a message to a single destination."""
+
+    def broadcast(self, dsts: Iterable[int], message: Any) -> None:
+        """Send the same message to every destination in ``dsts``."""
+        for dst in dsts:
+            self.send(dst, message)
+
+    @property
+    @abstractmethod
+    def local_id(self) -> int:
+        """Identifier of the endpoint this transport belongs to."""
+
+
+class SimTransport(Transport):
+    """Transport bound to one endpoint of a :class:`SimNetwork`.
+
+    Outgoing sends are routed through the owning node so the node can charge
+    per-message CPU cost before the message reaches the network; the node
+    calls :meth:`push_to_network` once the cost has been paid.
+    """
+
+    def __init__(self, network: "Any", local_id: int, send_hook: Any = None) -> None:
+        self._network = network
+        self._local_id = local_id
+        # send_hook(dst, message) -> bool: when provided (by SimNode), it may
+        # defer or charge CPU for the send; returning True means it took
+        # ownership of actually pushing the message to the network.
+        self._send_hook = send_hook
+
+    @property
+    def local_id(self) -> int:
+        return self._local_id
+
+    def set_send_hook(self, send_hook: Any) -> None:
+        self._send_hook = send_hook
+
+    def send(self, dst: int, message: Any) -> None:
+        if self._send_hook is not None and self._send_hook(dst, message):
+            return
+        self._network.send(self._local_id, dst, message)
+
+    def push_to_network(self, dst: int, message: Any) -> None:
+        """Bypass the hook and hand the message straight to the network."""
+        self._network.send(self._local_id, dst, message)

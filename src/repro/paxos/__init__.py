@@ -1,0 +1,12 @@
+"""Multi-Paxos baseline.
+
+A single stable leader drives phase-2 rounds for every client command,
+piggybacking phase-3 commits onto subsequent phase-2a messages, exactly as in
+the paper's Figure 2.  The leader communicates *directly* with every
+follower, which is the communication pattern whose bottleneck PigPaxos
+removes.
+"""
+
+from repro.paxos.replica import MultiPaxosReplica
+
+__all__ = ["MultiPaxosReplica"]

@@ -1,0 +1,474 @@
+"""Multi-Paxos replica with a stable leader and commit piggybacking.
+
+The replica plays all three classical roles (proposer, acceptor, learner).
+It exposes two fan-out hooks, :meth:`_fanout_phase1` and
+:meth:`_fanout_phase2`, which broadcast directly to every follower here and
+are overridden by PigPaxos (:mod:`repro.core.replica`) to route through relay
+groups instead -- that override is the *only* behavioural difference between
+the two protocols, mirroring how the paper's implementation changed only the
+message-passing layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.protocol.ballot import Ballot
+from repro.protocol.base import Replica, TimerLike
+from repro.protocol.config import ProtocolConfig
+from repro.protocol.messages import (
+    ClientReply,
+    ClientRequest,
+    Commit,
+    FillReply,
+    FillRequest,
+    Heartbeat,
+    P1a,
+    P1b,
+    P2a,
+    P2b,
+)
+from repro.quorum.systems import MajorityQuorum, QuorumSystem
+from repro.quorum.tracker import BallotVoteTracker, VoteTracker
+from repro.statemachine.command import NoOp
+from repro.statemachine.kvstore import KVStore
+from repro.statemachine.log import ReplicatedLog
+
+
+@dataclass
+class _Proposal:
+    """Leader-side bookkeeping for one in-flight slot."""
+
+    slot: int
+    command: object
+    tracker: VoteTracker
+    client_id: Optional[int] = None
+    request_id: int = 0
+    committed: bool = False
+    retry_timer: Optional[TimerLike] = None
+
+
+class MultiPaxosReplica(Replica):
+    """A Multi-Paxos node: proposer + acceptor + learner in one process."""
+
+    protocol_name = "paxos"
+
+    def __init__(
+        self,
+        config: Optional[ProtocolConfig] = None,
+        quorum: Optional[QuorumSystem] = None,
+    ) -> None:
+        super().__init__()
+        self.config = config or ProtocolConfig()
+        self._quorum = quorum
+
+        # Acceptor state (conceptually on stable storage).
+        self.promised: Ballot = Ballot.zero()
+        self.log = ReplicatedLog()
+        self.store = KVStore()
+
+        # Proposer / leader state.
+        self.ballot: Ballot = Ballot.zero()
+        self.is_leader = False
+        self.leader_id: Optional[int] = None
+        self.next_slot = 1
+        self.commit_upto = 0
+        self._proposals: Dict[int, _Proposal] = {}
+        self._pending_requests: List[Tuple[int, ClientRequest]] = []
+        self._phase1_tracker: Optional[BallotVoteTracker] = None
+        self._phase1_timer: Optional[TimerLike] = None
+
+        # Failure detection.
+        self._last_leader_contact = 0.0
+        self._election_timeout = 0.0
+        self._heartbeat_timer: Optional[TimerLike] = None
+        self._fill_pending = False
+
+    # ------------------------------------------------------------------ setup
+    @property
+    def quorum(self) -> QuorumSystem:
+        if self._quorum is None:
+            self._quorum = MajorityQuorum(self.cluster_size)
+        return self._quorum
+
+    def start(self) -> None:
+        """Bootstrap: the configured initial leader runs phase-1, everyone arms timeouts."""
+        rng = self.ctx.rng
+        self._election_timeout = rng.uniform(
+            self.config.election_timeout_min, self.config.election_timeout_max
+        )
+        self._last_leader_contact = self.ctx.now
+        if self.config.initial_leader is not None and self.node_id == self.config.initial_leader:
+            self.ctx.schedule(0.0, self._start_phase1)
+        self.ctx.schedule(self._election_timeout, self._check_leader_liveness)
+
+    # ------------------------------------------------------------------ dispatch
+    def on_message(self, src: int, message: Any) -> None:
+        handler = self._handler_cache().get(type(message))
+        if handler is None:
+            self.count("unknown_message")
+            return
+        handler(src, message)
+
+    def _handler_cache(self) -> Dict[type, Any]:
+        cache = getattr(self, "_cached_handlers", None)
+        if cache is None:
+            cache = self._handlers()
+            self._cached_handlers = cache
+        return cache
+
+    def _handlers(self) -> Dict[type, Any]:
+        return {
+            ClientRequest: self._on_client_request,
+            P1a: self._on_p1a,
+            P1b: self._on_p1b,
+            P2a: self._on_p2a,
+            P2b: self._on_p2b,
+            Commit: self._on_commit,
+            Heartbeat: self._on_heartbeat,
+            FillRequest: self._on_fill_request,
+            FillReply: self._on_fill_reply,
+        }
+
+    # ------------------------------------------------------------------ phase 1
+    def _start_phase1(self) -> None:
+        """Try to become leader with a ballot higher than anything seen."""
+        if self.is_leader:
+            return
+        base = max(self.promised, self.ballot)
+        self.ballot = base.next_for(self.node_id)
+        self.promised = self.ballot
+        self.count("phase1_started")
+        tracker = BallotVoteTracker(self.quorum.phase1_size)
+        tracker.ack(self.node_id, self._accepted_entries())
+        self._phase1_tracker = tracker
+        if tracker.satisfied:  # single-node cluster
+            self._become_leader()
+            return
+        self._fanout_phase1(P1a(ballot=self.ballot))
+        if self._phase1_timer is not None:
+            self._phase1_timer.cancel()
+        self._phase1_timer = self.ctx.schedule(self.config.phase1_timeout, self._phase1_timed_out)
+
+    def _phase1_timed_out(self) -> None:
+        if self.is_leader or self._phase1_tracker is None:
+            return
+        self.count("phase1_retry")
+        self._phase1_tracker = None
+        self._start_phase1()
+
+    def _fanout_phase1(self, p1a: P1a) -> None:
+        """Broadcast phase-1a directly to every follower (overridden by PigPaxos)."""
+        self.broadcast(self.peers, p1a)
+
+    def _accepted_entries(self) -> Dict[int, Tuple[Ballot, object]]:
+        """This node's accepted-but-possibly-uncommitted entries, for P1b."""
+        entries: Dict[int, Tuple[Ballot, object]] = {}
+        for entry in self.log.entries():
+            if not entry.executed:
+                entries[entry.slot] = (entry.ballot, entry.command)
+        return entries
+
+    def _process_p1a(self, msg: P1a) -> P1b:
+        """Acceptor logic for a phase-1a; returns the promise without sending it."""
+        if msg.ballot >= self.promised:
+            self.promised = msg.ballot
+            self._observe_leader(msg.ballot)
+            return P1b(ballot=msg.ballot, voter=self.node_id, ok=True,
+                       accepted=self._accepted_entries())
+        return P1b(ballot=self.promised, voter=self.node_id, ok=False)
+
+    def _on_p1a(self, src: int, msg: P1a) -> None:
+        self.send(src, self._process_p1a(msg))
+
+    def _on_p1b(self, src: int, msg: P1b) -> None:
+        if self.is_leader or self._phase1_tracker is None:
+            return
+        if msg.ok and msg.ballot == self.ballot:
+            if self._phase1_tracker.ack(msg.voter, msg.accepted):
+                self._become_leader()
+        elif not msg.ok and msg.ballot > self.ballot:
+            # Someone promised a higher ballot; adopt it and back off.
+            self.promised = max(self.promised, msg.ballot)
+            self.count("phase1_preempted")
+
+    def _become_leader(self) -> None:
+        tracker = self._phase1_tracker
+        self._phase1_tracker = None
+        if self._phase1_timer is not None:
+            self._phase1_timer.cancel()
+            self._phase1_timer = None
+        self.is_leader = True
+        self.leader_id = self.node_id
+        self.count("became_leader")
+
+        # Re-propose every command reported by the promise quorum, fill gaps with no-ops.
+        to_repropose = tracker.commands_to_repropose() if tracker else {}
+        highest = max(list(to_repropose) + [self.log.max_slot, self.commit_upto, 0])
+        self.next_slot = highest + 1
+        for slot in range(self.commit_upto + 1, self.next_slot):
+            if self.log.is_committed(slot):
+                continue
+            command = to_repropose.get(slot)
+            if command is None:
+                existing = self.log.get(slot)
+                command = existing.command if existing is not None else NoOp()
+            self._propose_in_slot(slot, command, client_id=None, request_id=0)
+
+        for client_src, request in self._pending_requests:
+            self._propose(request, client_src)
+        self._pending_requests.clear()
+        self._schedule_heartbeat()
+
+    # ------------------------------------------------------------------ client path
+    def _on_client_request(self, src: int, msg: ClientRequest) -> None:
+        self.count("client_requests")
+        if self.is_leader:
+            self._propose(msg, src)
+        elif self.leader_id is not None and self.leader_id != self.node_id:
+            # Redirect the client to the current leader.  (Paxi forwards the
+            # request instead; a redirect behaves identically for throughput
+            # but also works over transports where the leader has no return
+            # path to a client that never connected to it.)
+            client_id = msg.command.client_id if msg.command.client_id >= 0 else src
+            self.send(client_id, ClientReply(
+                command_uid=msg.command.uid,
+                request_id=msg.command.request_id,
+                client_id=client_id,
+                success=False,
+                leader_hint=self.leader_id,
+            ))
+            self.count("client_redirects")
+        else:
+            self._pending_requests.append((src, msg))
+
+    def _propose(self, request: ClientRequest, client_src: int) -> None:
+        command = request.command
+        client_id = command.client_id if command.client_id >= 0 else client_src
+        slot = self.next_slot
+        self.next_slot += 1
+        self._propose_in_slot(slot, command, client_id=client_id, request_id=command.request_id)
+
+    def _propose_in_slot(self, slot: int, command: object, client_id: Optional[int], request_id: int) -> None:
+        self.log.accept(slot, self.ballot, command)
+        tracker = VoteTracker(self.quorum.phase2_size)
+        tracker.ack(self.node_id)
+        proposal = _Proposal(slot=slot, command=command, tracker=tracker,
+                             client_id=client_id, request_id=request_id)
+        self._proposals[slot] = proposal
+        p2a = P2a(ballot=self.ballot, slot=slot, command=command, commit_upto=self.commit_upto)
+        self.count("p2a_rounds")
+        if tracker.satisfied:  # single-node cluster
+            self._commit_slot(slot)
+            return
+        self._fanout_phase2(p2a, proposal)
+
+    def _fanout_phase2(self, p2a: P2a, proposal: _Proposal) -> None:
+        """Send phase-2a directly to every follower (overridden by PigPaxos)."""
+        self.broadcast(self.peers, p2a)
+
+    # ------------------------------------------------------------------ acceptor path
+    def _process_p2a(self, msg: P2a) -> P2b:
+        """Acceptor logic for a phase-2a; returns the vote without sending it."""
+        if msg.ballot >= self.promised:
+            self.promised = msg.ballot
+            self._observe_leader(msg.ballot)
+            self.log.accept(msg.slot, msg.ballot, msg.command)
+            self._apply_commit_frontier(msg.commit_upto, msg.ballot)
+            return P2b(ballot=msg.ballot, slot=msg.slot, voter=self.node_id, ok=True)
+        return P2b(ballot=self.promised, slot=msg.slot, voter=self.node_id, ok=False)
+
+    def _on_p2a(self, src: int, msg: P2a) -> None:
+        self.send(src, self._process_p2a(msg))
+
+    def _on_p2b(self, src: int, msg: P2b) -> None:
+        if not self.is_leader:
+            return
+        if not msg.ok:
+            if msg.ballot > self.ballot:
+                self._step_down(msg.ballot)
+            return
+        if msg.ballot != self.ballot:
+            return
+        proposal = self._proposals.get(msg.slot)
+        if proposal is None or proposal.committed:
+            return
+        if proposal.tracker.ack(msg.voter):
+            self._commit_slot(msg.slot)
+
+    # ------------------------------------------------------------------ commit & execute
+    def _commit_slot(self, slot: int) -> None:
+        proposal = self._proposals.get(slot)
+        if proposal is None or proposal.committed:
+            return
+        proposal.committed = True
+        if proposal.retry_timer is not None:
+            proposal.retry_timer.cancel()
+        self.log.commit(slot, self.ballot, proposal.command)
+        self.count("slots_committed")
+        self._advance_commit_frontier()
+        self._execute_ready()
+
+    def _advance_commit_frontier(self) -> None:
+        frontier = self.commit_upto
+        while self.log.is_committed(frontier + 1):
+            frontier += 1
+        self.commit_upto = frontier
+
+    def _execute_ready(self) -> None:
+        executed = self.log.execute_ready(self.store.apply)
+        if not executed:
+            return
+        self.ctx.charge_execution(len(executed))
+        for entry, result in executed:
+            proposal = self._proposals.pop(entry.slot, None)
+            if proposal is None or proposal.client_id is None:
+                continue
+            reply = ClientReply(
+                command_uid=getattr(entry.command, "uid", -1),
+                request_id=proposal.request_id,
+                client_id=proposal.client_id,
+                success=True,
+                result=result,
+                leader_hint=self.node_id,
+            )
+            self.send(proposal.client_id, reply)
+            self.count("client_replies")
+
+    def _apply_commit_frontier(self, commit_upto: int, ballot: Ballot) -> None:
+        """Follower-side phase-3: mark slots <= commit_upto committed.
+
+        A follower only trusts its local entry for a slot if that entry was
+        accepted under the same ballot as the message announcing the commit;
+        otherwise the slot is left for gap-filling.
+        """
+        if commit_upto <= self.commit_upto:
+            return
+        missing = False
+        for slot in range(self.commit_upto + 1, commit_upto + 1):
+            entry = self.log.get(slot)
+            if entry is None or (entry.ballot != ballot and not entry.committed):
+                missing = True
+                continue
+            if not entry.committed:
+                self.log.commit(slot, entry.ballot, entry.command)
+        self._advance_commit_frontier()
+        self.commit_upto = max(self.commit_upto, 0)
+        self._execute_ready()
+        if missing and not self._fill_pending and self.leader_id is not None:
+            self._fill_pending = True
+            self.ctx.schedule(self.config.fill_gap_timeout, self._request_fill, commit_upto)
+
+    def _request_fill(self, commit_upto: int) -> None:
+        self._fill_pending = False
+        if self.is_leader or self.leader_id is None:
+            return
+        missing = tuple(
+            slot for slot in range(self.log.next_execute_slot, commit_upto + 1)
+            if not self.log.is_committed(slot)
+        )
+        if missing:
+            self.count("fill_requests")
+            self.send(self.leader_id, FillRequest(slots=missing, requester=self.node_id))
+
+    def _on_fill_request(self, src: int, msg: FillRequest) -> None:
+        entries = []
+        for slot in msg.slots:
+            entry = self.log.get(slot)
+            if entry is not None and entry.committed:
+                entries.append((slot, entry.ballot, entry.command))
+        if entries:
+            self.send(msg.requester, FillReply(entries=tuple(entries)))
+
+    def _on_fill_reply(self, src: int, msg: FillReply) -> None:
+        for slot, ballot, command in msg.entries:
+            self.log.commit(slot, ballot, command)
+        self._advance_commit_frontier()
+        self._execute_ready()
+
+    def _on_commit(self, src: int, msg: Commit) -> None:
+        self.log.commit(msg.slot, msg.ballot, msg.command)
+        self._observe_leader(msg.ballot)
+        self._apply_commit_frontier(msg.commit_upto, msg.ballot)
+        self._advance_commit_frontier()
+        self._execute_ready()
+
+    # ------------------------------------------------------------------ liveness
+    def _observe_leader(self, ballot: Ballot) -> None:
+        self._last_leader_contact = self.ctx.now
+        if ballot.leader != self.node_id:
+            self.leader_id = ballot.leader
+            if self.is_leader and ballot > self.ballot:
+                self._step_down(ballot)
+
+    def _step_down(self, higher: Ballot) -> None:
+        self.count("stepped_down")
+        self.is_leader = False
+        self.promised = max(self.promised, higher)
+        self.leader_id = higher.leader
+        if self._heartbeat_timer is not None:
+            self._heartbeat_timer.cancel()
+            self._heartbeat_timer = None
+
+    def _schedule_heartbeat(self) -> None:
+        if not self.is_leader:
+            return
+        self._heartbeat_timer = self.ctx.schedule(self.config.heartbeat_interval, self._heartbeat_tick)
+
+    def _heartbeat_tick(self) -> None:
+        if not self.is_leader:
+            return
+        heartbeat = Heartbeat(ballot=self.ballot, commit_upto=self.commit_upto)
+        self._fanout_heartbeat(heartbeat)
+        self._schedule_heartbeat()
+
+    def _fanout_heartbeat(self, heartbeat: Heartbeat) -> None:
+        """Broadcast the heartbeat directly (overridden by PigPaxos)."""
+        self.broadcast(self.peers, heartbeat)
+
+    def _on_heartbeat(self, src: int, msg: Heartbeat) -> None:
+        if msg.ballot >= self.promised:
+            self.promised = msg.ballot
+            self._observe_leader(msg.ballot)
+            self._apply_commit_frontier(msg.commit_upto, msg.ballot)
+
+    def _check_leader_liveness(self) -> None:
+        if not self.is_leader:
+            silent_for = self.ctx.now - self._last_leader_contact
+            if silent_for >= self._election_timeout:
+                self.count("election_triggered")
+                self._start_phase1()
+                self._last_leader_contact = self.ctx.now
+        self.ctx.schedule(self._election_timeout, self._check_leader_liveness)
+
+    # ------------------------------------------------------------------ crash / recover
+    def on_crash(self) -> None:
+        # Promised ballot, log and store model stable storage and survive;
+        # leader-volatile state does not.
+        self.is_leader = False
+        self._proposals.clear()
+        self._pending_requests.clear()
+        self._phase1_tracker = None
+        if self._heartbeat_timer is not None:
+            self._heartbeat_timer.cancel()
+            self._heartbeat_timer = None
+
+    def on_recover(self) -> None:
+        self._last_leader_contact = self.ctx.now
+        self.ctx.schedule(self._election_timeout, self._check_leader_liveness)
+
+    # ------------------------------------------------------------------ introspection
+    def status(self) -> Dict[str, object]:
+        """Diagnostic snapshot used by tests and examples."""
+        return {
+            "node": self.node_id,
+            "is_leader": self.is_leader,
+            "leader_id": self.leader_id,
+            "ballot": tuple(self.ballot),
+            "promised": tuple(self.promised),
+            "commit_upto": self.commit_upto,
+            "executed": self.log.executed_count,
+            "log_size": len(self.log),
+            "kv_size": len(self.store),
+        }

@@ -1,0 +1,37 @@
+"""Ballot numbers.
+
+A ballot is a ``(round, node_id)`` pair ordered lexicographically, the usual
+construction that makes ballots unique per proposer while remaining totally
+ordered.  ``Ballot.zero()`` sorts below every real ballot.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+
+class Ballot(NamedTuple):
+    """A totally ordered, proposer-unique ballot number."""
+
+    round: int
+    node_id: int
+
+    @classmethod
+    def zero(cls) -> "Ballot":
+        """The ballot smaller than any ballot a node can propose."""
+        return cls(0, -1)
+
+    def next_for(self, node_id: int) -> "Ballot":
+        """The smallest ballot owned by ``node_id`` that is larger than this one."""
+        return Ballot(self.round + 1, node_id)
+
+    @property
+    def leader(self) -> int:
+        """The node that owns this ballot (proposer id)."""
+        return self.node_id
+
+    def is_zero(self) -> bool:
+        return self.round == 0 and self.node_id == -1
+
+    def __str__(self) -> str:
+        return f"{self.round}.{self.node_id}"

@@ -1,0 +1,123 @@
+"""Replica base class and the context interface replicas run against.
+
+A replica is a pure protocol state machine: it reacts to incoming messages
+and timer callbacks, and it affects the world only through its
+:class:`NodeContext`.  The context is implemented by
+:class:`repro.cluster.node.SimNode` for simulation and by
+:class:`repro.runtime.server.AsyncNodeContext` for the asyncio runtime.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Any, Callable, Iterable, List, Optional, Protocol, Sequence
+
+from repro.sim.metrics import MetricsRegistry
+
+
+class TimerLike(Protocol):
+    """Minimal interface of the handle returned by ``NodeContext.schedule``."""
+
+    def cancel(self) -> None: ...
+
+
+class NodeContext(Protocol):
+    """Everything a replica may ask of the node hosting it."""
+
+    @property
+    def node_id(self) -> int: ...
+
+    @property
+    def all_nodes(self) -> Sequence[int]:
+        """Ids of every consensus node in the cluster, including this one."""
+        ...
+
+    @property
+    def now(self) -> float: ...
+
+    @property
+    def rng(self) -> random.Random: ...
+
+    @property
+    def metrics(self) -> MetricsRegistry: ...
+
+    def send(self, dst: int, message: Any) -> None: ...
+
+    def schedule(self, delay: float, callback: Callable[..., Any], *args: Any) -> TimerLike: ...
+
+    def charge_execution(self, commands: int = 1) -> None:
+        """Charge CPU time for applying ``commands`` to the state machine."""
+        ...
+
+    def charge_graph_work(self, vertices: int) -> None:
+        """Charge CPU time for dependency-graph traversal (EPaxos execution)."""
+        ...
+
+    def charge_overhead(self, units: float = 1.0) -> None:
+        """Charge per-instance protocol bookkeeping (EPaxos dependency tracking)."""
+        ...
+
+
+class Replica(ABC):
+    """Base class for protocol replicas.
+
+    Subclasses implement :meth:`on_message` and :meth:`start`.  The host node
+    wires itself in through :meth:`bind` before the simulation (or server)
+    starts delivering messages.
+    """
+
+    protocol_name = "abstract"
+
+    def __init__(self) -> None:
+        self._ctx: Optional[NodeContext] = None
+
+    # ----------------------------------------------------------------- wiring
+    def bind(self, ctx: NodeContext) -> None:
+        """Attach the replica to its host node context."""
+        self._ctx = ctx
+
+    @property
+    def ctx(self) -> NodeContext:
+        if self._ctx is None:
+            raise RuntimeError(f"{type(self).__name__} used before bind()")
+        return self._ctx
+
+    @property
+    def node_id(self) -> int:
+        return self.ctx.node_id
+
+    @property
+    def peers(self) -> List[int]:
+        """Every consensus node except this one."""
+        return [n for n in self.ctx.all_nodes if n != self.ctx.node_id]
+
+    @property
+    def cluster_size(self) -> int:
+        return len(self.ctx.all_nodes)
+
+    # ----------------------------------------------------------------- hooks
+    def start(self) -> None:
+        """Called once when the node starts (bootstrap timers, elections...)."""
+
+    @abstractmethod
+    def on_message(self, src: int, message: Any) -> None:
+        """Handle a message delivered off the wire from endpoint ``src``."""
+
+    def on_crash(self) -> None:
+        """Called when the host node crashes (volatile state may be dropped)."""
+
+    def on_recover(self) -> None:
+        """Called when the host node recovers from a crash."""
+
+    # ----------------------------------------------------------------- helpers
+    def send(self, dst: int, message: Any) -> None:
+        self.ctx.send(dst, message)
+
+    def broadcast(self, dsts: Iterable[int], message: Any) -> None:
+        for dst in dsts:
+            self.ctx.send(dst, message)
+
+    def count(self, name: str, amount: float = 1.0) -> None:
+        """Increment a protocol-level metric counter namespaced by node id."""
+        self.ctx.metrics.counter(f"{self.protocol_name}.{name}").increment(amount)

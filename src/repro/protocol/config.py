@@ -1,0 +1,43 @@
+"""Protocol configuration knobs shared by all replicas."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class ProtocolConfig:
+    """Timing and behaviour knobs common to Multi-Paxos and PigPaxos.
+
+    Attributes:
+        heartbeat_interval: How often an idle leader broadcasts heartbeats /
+            commit notifications (seconds of virtual time).
+        election_timeout_min / election_timeout_max: A follower that hears
+            nothing from a leader for a duration drawn uniformly from this
+            range starts its own phase-1 with a higher ballot.
+        phase1_timeout: How long a candidate waits for promises before
+            retrying phase-1 with a fresh ballot.
+        fill_gap_timeout: How long a follower waits on a log gap before
+            requesting the missing slots from the leader.
+        initial_leader: Node that proactively runs phase-1 at start-up
+            (``None`` disables bootstrap and leaves election to timeouts).
+    """
+
+    heartbeat_interval: float = 0.05
+    election_timeout_min: float = 0.4
+    election_timeout_max: float = 0.8
+    phase1_timeout: float = 0.25
+    fill_gap_timeout: float = 0.1
+    initial_leader: int = 0
+
+    def __post_init__(self) -> None:
+        if self.heartbeat_interval <= 0:
+            raise ConfigurationError("heartbeat_interval must be positive")
+        if self.election_timeout_min <= 0 or self.election_timeout_max < self.election_timeout_min:
+            raise ConfigurationError("invalid election timeout range")
+        if self.election_timeout_min <= self.heartbeat_interval:
+            raise ConfigurationError(
+                "election_timeout_min must exceed heartbeat_interval or leaders will be deposed spuriously"
+            )

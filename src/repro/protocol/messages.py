@@ -1,0 +1,148 @@
+"""Wire messages shared by Multi-Paxos and PigPaxos (and the client API).
+
+These correspond one-to-one to the arrows in the paper's Figure 1/2:
+``P1a``/``P1b`` are propose/promise, ``P2a``/``P2b`` are accept/accepted and
+``Commit`` is phase-3.  Phase-3 is normally piggybacked on the next ``P2a``
+through its ``commit_upto`` field, exactly as in the Multi-Paxos optimization
+the paper applies to both Paxos and PigPaxos.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.net.message import Message
+from repro.protocol.ballot import Ballot
+from repro.statemachine.command import Command, CommandResult
+
+
+# --------------------------------------------------------------------- client
+@dataclass(frozen=True)
+class ClientRequest(Message):
+    """A command submitted by a client to a replica."""
+
+    command: Command
+
+    def payload_bytes(self) -> int:
+        return self.command.payload_bytes()
+
+
+@dataclass(frozen=True)
+class ClientReply(Message):
+    """The reply sent back to the client after its command executed."""
+
+    command_uid: int
+    request_id: int
+    client_id: int
+    success: bool
+    result: Optional[CommandResult] = None
+    leader_hint: Optional[int] = None
+    request_send_time: float = 0.0
+
+    def payload_bytes(self) -> int:
+        return self.result.payload_bytes() if self.result is not None else 0
+
+
+# --------------------------------------------------------------------- phase 1
+@dataclass(frozen=True)
+class P1a(Message):
+    """Phase-1a: "lead with ballot b?"."""
+
+    ballot: Ballot
+
+
+@dataclass(frozen=True)
+class P1b(Message):
+    """Phase-1b promise.  ``accepted`` maps slot -> (ballot, command)."""
+
+    ballot: Ballot
+    voter: int
+    ok: bool
+    accepted: Dict[int, Tuple[Ballot, object]] = field(default_factory=dict)
+
+    def payload_bytes(self) -> int:
+        total = 0
+        for _, command in self.accepted.values():
+            payload_fn = getattr(command, "payload_bytes", None)
+            if callable(payload_fn):
+                total += payload_fn()
+            total += 16  # slot + ballot encoding
+        return total
+
+
+# --------------------------------------------------------------------- phase 2
+@dataclass(frozen=True)
+class P2a(Message):
+    """Phase-2a accept request for one slot, with phase-3 piggybacked.
+
+    ``commit_upto`` tells followers that every slot <= commit_upto is
+    committed (the Multi-Paxos piggybacking of phase-3 onto the next
+    phase-2a).
+    """
+
+    ballot: Ballot
+    slot: int
+    command: object
+    commit_upto: int = 0
+
+    def payload_bytes(self) -> int:
+        payload_fn = getattr(self.command, "payload_bytes", None)
+        return payload_fn() if callable(payload_fn) else 0
+
+
+@dataclass(frozen=True)
+class P2b(Message):
+    """Phase-2b accepted/rejected vote from one follower."""
+
+    ballot: Ballot
+    slot: int
+    voter: int
+    ok: bool
+
+
+@dataclass(frozen=True)
+class Commit(Message):
+    """Explicit phase-3 commit notification (used when there is no next P2a)."""
+
+    ballot: Ballot
+    slot: int
+    command: object
+    commit_upto: int = 0
+
+    def payload_bytes(self) -> int:
+        payload_fn = getattr(self.command, "payload_bytes", None)
+        return payload_fn() if callable(payload_fn) else 0
+
+
+# --------------------------------------------------------------------- catch-up
+@dataclass(frozen=True)
+class FillRequest(Message):
+    """A follower asking the leader for slots it is missing."""
+
+    slots: Tuple[int, ...]
+    requester: int
+
+
+@dataclass(frozen=True)
+class FillReply(Message):
+    """Leader's response to a FillRequest: committed entries for the slots."""
+
+    entries: Tuple[Tuple[int, Ballot, object], ...]
+
+    def payload_bytes(self) -> int:
+        total = 0
+        for _, _, command in self.entries:
+            payload_fn = getattr(command, "payload_bytes", None)
+            if callable(payload_fn):
+                total += payload_fn()
+            total += 16
+        return total
+
+
+@dataclass(frozen=True)
+class Heartbeat(Message):
+    """Periodic leader liveness signal carrying the commit frontier."""
+
+    ballot: Ballot
+    commit_upto: int = 0

@@ -1,0 +1,119 @@
+"""Quorum system definitions.
+
+A quorum system answers two questions for a cluster of ``n`` voters:
+
+* how many phase-1 (leader election / prepare) votes are needed, and
+* how many phase-2 (accept) votes are needed.
+
+Classical Paxos uses majorities for both; flexible Paxos only requires that
+every phase-1 quorum intersects every phase-2 quorum (q1 + q2 > n); EPaxos'
+fast path uses a super-majority of size ``f + floor((f+1)/2)`` out of
+``n = 2f + 1``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.errors import QuorumError
+
+
+class QuorumSystem(ABC):
+    """Sizes of the vote sets required by each protocol phase."""
+
+    def __init__(self, n: int) -> None:
+        if n < 1:
+            raise QuorumError(f"cluster size must be >= 1, got {n}")
+        self.n = n
+
+    @property
+    @abstractmethod
+    def phase1_size(self) -> int:
+        """Votes required to win phase-1 (prepare / leader election)."""
+
+    @property
+    @abstractmethod
+    def phase2_size(self) -> int:
+        """Votes required to win phase-2 (accept)."""
+
+    def phase1_satisfied(self, votes: int) -> bool:
+        return votes >= self.phase1_size
+
+    def phase2_satisfied(self, votes: int) -> bool:
+        return votes >= self.phase2_size
+
+    @property
+    def max_failures(self) -> int:
+        """Crash failures tolerated while both phases can still complete."""
+        return self.n - max(self.phase1_size, self.phase2_size)
+
+    def describe(self) -> str:
+        return f"{type(self).__name__}(n={self.n}, q1={self.phase1_size}, q2={self.phase2_size})"
+
+
+class MajorityQuorum(QuorumSystem):
+    """Classical Paxos majorities: q1 = q2 = floor(n/2) + 1."""
+
+    @property
+    def phase1_size(self) -> int:
+        return self.n // 2 + 1
+
+    @property
+    def phase2_size(self) -> int:
+        return self.n // 2 + 1
+
+
+class FlexibleQuorum(QuorumSystem):
+    """Flexible Paxos quorums with explicit q1 and q2 (q1 + q2 > n)."""
+
+    def __init__(self, n: int, q1: int, q2: int) -> None:
+        super().__init__(n)
+        if not 1 <= q1 <= n or not 1 <= q2 <= n:
+            raise QuorumError(f"quorum sizes must lie in [1, {n}]: q1={q1} q2={q2}")
+        if q1 + q2 <= n:
+            raise QuorumError(
+                f"flexible quorums must intersect: q1 + q2 must exceed n ({q1}+{q2} <= {n})"
+            )
+        self._q1 = q1
+        self._q2 = q2
+
+    @property
+    def phase1_size(self) -> int:
+        return self._q1
+
+    @property
+    def phase2_size(self) -> int:
+        return self._q2
+
+
+class FastQuorum(QuorumSystem):
+    """EPaxos-style quorums for a cluster of n = 2f + 1 nodes.
+
+    The fast-path quorum is ``f + floor((f+1)/2)`` (including the command
+    leader); the slow path (explicit accept round) uses a simple majority.
+    """
+
+    def __init__(self, n: int) -> None:
+        super().__init__(n)
+        self._f = (n - 1) // 2
+
+    @property
+    def f(self) -> int:
+        return self._f
+
+    @property
+    def fast_path_size(self) -> int:
+        return self._f + (self._f + 1) // 2
+
+    @property
+    def phase1_size(self) -> int:
+        # EPaxos has no leader election; recovery uses a majority.
+        return self.n // 2 + 1
+
+    @property
+    def phase2_size(self) -> int:
+        return self.n // 2 + 1
+
+    def fast_path_satisfied(self, votes: int) -> bool:
+        return votes >= max(self.fast_path_size, 1)

@@ -1,0 +1,17 @@
+"""Asyncio runtime: run the same replicas over real TCP sockets.
+
+The simulator answers the paper's performance questions; this runtime exists
+to show the protocol implementations are real, runnable code (the paper's
+implementation ran inside the Paxi framework's TCP stack).  A
+:class:`~repro.runtime.server.NodeServer` hosts any replica class
+(Multi-Paxos, PigPaxos, EPaxos) behind an asyncio TCP server, and
+:class:`~repro.runtime.client.KVClient` gives applications a simple
+``get``/``put`` API against the replicated store.
+"""
+
+from repro.runtime.codec import Codec, PickleCodec
+from repro.runtime.server import NodeServer
+from repro.runtime.client import KVClient
+from repro.runtime.harness import LocalCluster
+
+__all__ = ["Codec", "PickleCodec", "NodeServer", "KVClient", "LocalCluster"]

@@ -1,0 +1,131 @@
+"""Asyncio key-value client for the real-network runtime."""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import RuntimeTransportError
+from repro.protocol.messages import ClientReply, ClientRequest
+from repro.runtime.codec import Codec, PickleCodec, frame, read_frame
+from repro.statemachine.command import Command, CommandResult, OpType
+
+Address = Tuple[str, int]
+
+_client_ids = itertools.count(5000)
+
+
+class KVClient:
+    """A minimal replicated key-value client (get / put / delete).
+
+    The client connects to one node (typically the leader for Paxos/PigPaxos,
+    any node for EPaxos), sends one request at a time and waits for the
+    matching reply.  ``leader_hint`` from replies is followed automatically.
+    """
+
+    def __init__(
+        self,
+        nodes: Dict[int, Address],
+        client_id: Optional[int] = None,
+        codec: Optional[Codec] = None,
+        request_timeout: float = 5.0,
+    ) -> None:
+        if not nodes:
+            raise RuntimeTransportError("KVClient needs at least one node address")
+        self._nodes = dict(nodes)
+        self._codec = codec or PickleCodec()
+        self._client_id = client_id if client_id is not None else next(_client_ids)
+        self._request_timeout = request_timeout
+        self._request_counter = 0
+        self._target = sorted(nodes)[0]
+        self._connected_to: Optional[int] = None
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+
+    @property
+    def client_id(self) -> int:
+        return self._client_id
+
+    # ------------------------------------------------------------------ connection
+    async def connect(self, node_id: Optional[int] = None) -> None:
+        if node_id is not None:
+            self._target = node_id
+        await self._ensure_connection(reconnect=True)
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+        self._reader = None
+        self._writer = None
+
+    async def _ensure_connection(self, reconnect: bool = False) -> None:
+        connected = (
+            self._writer is not None
+            and not self._writer.is_closing()
+            and self._connected_to == self._target
+        )
+        if connected and not reconnect:
+            return
+        if self._writer is not None:
+            self._writer.close()
+        address = self._nodes[self._target]
+        self._reader, self._writer = await asyncio.open_connection(*address)
+        self._connected_to = self._target
+
+    # ------------------------------------------------------------------ operations
+    async def put(self, key: str, value: str) -> CommandResult:
+        command = self._command(OpType.PUT, key, value=value)
+        return await self._execute(command)
+
+    async def get(self, key: str) -> Optional[str]:
+        command = self._command(OpType.GET, key)
+        result = await self._execute(command)
+        return result.value
+
+    async def delete(self, key: str) -> CommandResult:
+        command = self._command(OpType.DELETE, key)
+        return await self._execute(command)
+
+    def _command(self, op: OpType, key: str, value: Optional[str] = None) -> Command:
+        self._request_counter += 1
+        payload = len(value.encode("utf-8")) if value else 0
+        return Command(
+            op=op,
+            key=key,
+            value=value,
+            payload_size=payload,
+            client_id=self._client_id,
+            request_id=self._request_counter,
+        )
+
+    async def _execute(self, command: Command) -> CommandResult:
+        request = ClientRequest(command=command)
+        attempts = 0
+        while attempts < 3:
+            attempts += 1
+            await self._ensure_connection()
+            assert self._writer is not None and self._reader is not None
+            self._writer.write(frame(self._codec.encode(self._client_id, request)))
+            await self._writer.drain()
+            try:
+                reply = await asyncio.wait_for(
+                    self._await_reply(command.request_id), timeout=self._request_timeout
+                )
+            except asyncio.TimeoutError:
+                continue
+            if reply.leader_hint is not None and reply.leader_hint in self._nodes:
+                self._target = reply.leader_hint
+            if reply.success and reply.result is not None:
+                return reply.result
+            if reply.success:
+                return CommandResult(command_uid=command.uid, success=True)
+        raise RuntimeTransportError(f"request {command.request_id} timed out after {attempts} attempts")
+
+    async def _await_reply(self, request_id: int) -> ClientReply:
+        assert self._reader is not None
+        while True:
+            data = await read_frame(self._reader)
+            _, message = self._codec.decode(data)
+            if isinstance(message, ClientReply) and message.request_id == request_id:
+                return message

@@ -1,0 +1,59 @@
+"""Wire codec for the asyncio runtime.
+
+Frames are length-prefixed: a 4-byte big-endian length followed by the
+encoded ``(source_id, message)`` pair.  The default codec uses pickle, which
+is acceptable for a research runtime where every peer is trusted (the same
+assumption Paxi's gob encoding makes); the :class:`Codec` interface exists so
+a deployment can swap in a vetted encoding without touching the transport.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+from abc import ABC, abstractmethod
+from typing import Any, Tuple
+
+from repro.errors import RuntimeTransportError
+
+_LENGTH = struct.Struct(">I")
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+
+class Codec(ABC):
+    """Encodes and decodes ``(source_id, message)`` frames."""
+
+    @abstractmethod
+    def encode(self, source: int, message: Any) -> bytes:
+        """Encode one frame body (without the length prefix)."""
+
+    @abstractmethod
+    def decode(self, data: bytes) -> Tuple[int, Any]:
+        """Decode one frame body into ``(source_id, message)``."""
+
+
+class PickleCodec(Codec):
+    """Pickle-based codec (trusted-peer research deployments only)."""
+
+    def encode(self, source: int, message: Any) -> bytes:
+        return pickle.dumps((source, message), protocol=pickle.HIGHEST_PROTOCOL)
+
+    def decode(self, data: bytes) -> Tuple[int, Any]:
+        source, message = pickle.loads(data)
+        return int(source), message
+
+
+def frame(payload: bytes) -> bytes:
+    """Prefix an encoded frame body with its length."""
+    if len(payload) > MAX_FRAME_BYTES:
+        raise RuntimeTransportError(f"frame of {len(payload)} bytes exceeds the {MAX_FRAME_BYTES} limit")
+    return _LENGTH.pack(len(payload)) + payload
+
+
+async def read_frame(reader) -> bytes:
+    """Read one length-prefixed frame body from an asyncio StreamReader."""
+    header = await reader.readexactly(_LENGTH.size)
+    (length,) = _LENGTH.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise RuntimeTransportError(f"incoming frame of {length} bytes exceeds the {MAX_FRAME_BYTES} limit")
+    return await reader.readexactly(length)

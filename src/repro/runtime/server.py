@@ -1,0 +1,178 @@
+"""Asyncio node server hosting a protocol replica.
+
+``NodeServer`` provides the :class:`~repro.protocol.base.NodeContext`
+interface on top of real sockets and wall-clock timers, so the exact replica
+classes used in simulation run unmodified over TCP.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import time
+from typing import Any, Callable, Dict, Optional, Sequence, Tuple
+
+from repro.errors import RuntimeTransportError
+from repro.protocol.base import Replica
+from repro.runtime.codec import Codec, PickleCodec, frame, read_frame
+from repro.sim.metrics import MetricsRegistry
+
+Address = Tuple[str, int]
+
+
+class _TimerHandle:
+    """Adapts ``asyncio.TimerHandle`` to the replica-facing timer interface."""
+
+    def __init__(self, handle: asyncio.TimerHandle) -> None:
+        self._handle = handle
+
+    def cancel(self) -> None:
+        self._handle.cancel()
+
+
+class NodeServer:
+    """One consensus node listening on TCP and hosting a replica."""
+
+    def __init__(
+        self,
+        node_id: int,
+        listen: Address,
+        peers: Dict[int, Address],
+        replica: Replica,
+        codec: Optional[Codec] = None,
+    ) -> None:
+        self._node_id = node_id
+        self._listen = listen
+        self._peers = dict(peers)
+        self._replica = replica
+        self._codec = codec or PickleCodec()
+        self._metrics = MetricsRegistry(clock=time.monotonic)
+        self._rng = random.Random(node_id * 7919 + 17)
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._outgoing: Dict[int, asyncio.StreamWriter] = {}
+        self._client_writers: Dict[int, asyncio.StreamWriter] = {}
+        self._connection_tasks: set = set()
+        self._started = time.monotonic()
+        replica.bind(self)
+
+    # ------------------------------------------------------------------ NodeContext
+    @property
+    def node_id(self) -> int:
+        return self._node_id
+
+    @property
+    def all_nodes(self) -> Sequence[int]:
+        return sorted(set(self._peers) | {self._node_id})
+
+    @property
+    def now(self) -> float:
+        return time.monotonic() - self._started
+
+    @property
+    def rng(self) -> random.Random:
+        return self._rng
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        return self._metrics
+
+    def send(self, dst: int, message: Any) -> None:
+        asyncio.get_running_loop().create_task(self._send_async(dst, message))
+
+    def schedule(self, delay: float, callback: Callable[..., Any], *args: Any) -> _TimerHandle:
+        loop = asyncio.get_running_loop()
+        return _TimerHandle(loop.call_later(delay, callback, *args))
+
+    def charge_execution(self, commands: int = 1) -> None:
+        """Real CPUs charge themselves; accounting only."""
+        self._metrics.counter("runtime.executed_commands").increment(commands)
+
+    def charge_graph_work(self, vertices: int) -> None:
+        self._metrics.counter("runtime.graph_vertices").increment(vertices)
+
+    def charge_overhead(self, units: float = 1.0) -> None:
+        self._metrics.counter("runtime.bookkeeping_units").increment(units)
+
+    def charge_seconds(self, seconds: float) -> None:
+        self._metrics.counter("runtime.charged_seconds").increment(seconds)
+
+    # ------------------------------------------------------------------ lifecycle
+    async def start(self) -> None:
+        host, port = self._listen
+        self._server = await asyncio.start_server(self._handle_connection, host, port)
+        self._replica.start()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._connection_tasks):
+            task.cancel()
+        if self._connection_tasks:
+            await asyncio.gather(*self._connection_tasks, return_exceptions=True)
+        self._connection_tasks.clear()
+        for writer in list(self._outgoing.values()) + list(self._client_writers.values()):
+            writer.close()
+        self._outgoing.clear()
+        self._client_writers.clear()
+
+    @property
+    def replica(self) -> Replica:
+        return self._replica
+
+    # ------------------------------------------------------------------ networking
+    async def _send_async(self, dst: int, message: Any) -> None:
+        payload = frame(self._codec.encode(self._node_id, message))
+        try:
+            writer = await self._writer_for(dst)
+        except (OSError, RuntimeTransportError):
+            self._metrics.counter("runtime.send_failures").increment()
+            return
+        if writer is None:
+            self._metrics.counter("runtime.send_failures").increment()
+            return
+        try:
+            writer.write(payload)
+            await writer.drain()
+            self._metrics.counter("runtime.messages_sent").increment()
+        except (ConnectionError, OSError):
+            self._metrics.counter("runtime.send_failures").increment()
+            self._outgoing.pop(dst, None)
+
+    async def _writer_for(self, dst: int) -> Optional[asyncio.StreamWriter]:
+        if dst in self._client_writers:
+            return self._client_writers[dst]
+        writer = self._outgoing.get(dst)
+        if writer is not None and not writer.is_closing():
+            return writer
+        address = self._peers.get(dst)
+        if address is None:
+            return None
+        _, writer = await asyncio.open_connection(*address)
+        self._outgoing[dst] = writer
+        return writer
+
+    async def _handle_connection(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connection_tasks.add(task)
+        try:
+            while True:
+                data = await read_frame(reader)
+                source, message = self._codec.decode(data)
+                # Remember how to reach clients (they connect in, nodes have
+                # addresses in the peer map).
+                if source not in self._peers and source != self._node_id:
+                    self._client_writers[source] = writer
+                self._metrics.counter("runtime.messages_received").increment()
+                self._replica.on_message(source, message)
+        except (asyncio.IncompleteReadError, ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            if task is not None:
+                self._connection_tasks.discard(task)
+            for client_id, client_writer in list(self._client_writers.items()):
+                if client_writer is writer:
+                    self._client_writers.pop(client_id, None)
+            writer.close()

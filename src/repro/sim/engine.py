@@ -1,0 +1,165 @@
+"""The discrete-event simulator core.
+
+:class:`Simulator` owns the virtual clock, the event queue, the random
+streams and the metrics registry.  Components schedule work with
+:meth:`Simulator.schedule` (relative delay) or :meth:`Simulator.schedule_at`
+(absolute time) and may cancel it via the returned :class:`TimerHandle`.
+
+The engine is single-threaded and runs events strictly in
+``(time, priority, insertion order)`` order, which makes every run with the
+same seed bit-for-bit reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+from repro.sim.events import Event, EventQueue
+from repro.sim.metrics import MetricsRegistry
+from repro.sim.rng import RandomStreams
+
+
+class TimerHandle:
+    """A cancellable handle for a scheduled callback."""
+
+    __slots__ = ("_event", "_queue")
+
+    def __init__(self, event: Event, queue: EventQueue) -> None:
+        self._event = event
+        self._queue = queue
+
+    @property
+    def time(self) -> float:
+        """Virtual time at which the callback is due to fire."""
+        return self._event.time
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+    def cancel(self) -> None:
+        """Cancel the callback if it has not fired yet."""
+        self._queue.cancel(self._event)
+
+
+class Simulator:
+    """Single-threaded deterministic discrete-event simulator."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._now = 0.0
+        self._queue = EventQueue()
+        self._streams = RandomStreams(seed)
+        self._metrics = MetricsRegistry(clock=lambda: self._now)
+        self._running = False
+        self._events_processed = 0
+
+    # ------------------------------------------------------------------ clock
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events executed so far (useful for progress/debugging)."""
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._queue)
+
+    # ------------------------------------------------------------------ rng / metrics
+    @property
+    def random(self) -> RandomStreams:
+        return self._streams
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        return self._metrics
+
+    # ------------------------------------------------------------------ scheduling
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+    ) -> TimerHandle:
+        """Schedule ``callback(*args)`` after ``delay`` seconds of virtual time."""
+        if delay < 0:
+            raise SimulationError(f"delay must be non-negative, got {delay!r}")
+        event = self._queue.push(self._now + delay, callback, args, priority)
+        return TimerHandle(event, self._queue)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+    ) -> TimerHandle:
+        """Schedule ``callback(*args)`` at an absolute virtual ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time!r}, which is in the past (now={self._now!r})"
+            )
+        event = self._queue.push(time, callback, args, priority)
+        return TimerHandle(event, self._queue)
+
+    def call_soon(self, callback: Callable[..., Any], *args: Any) -> TimerHandle:
+        """Schedule ``callback`` at the current time (after already-queued events)."""
+        return self.schedule(0.0, callback, *args)
+
+    # ------------------------------------------------------------------ running
+    def step(self) -> bool:
+        """Execute the next event.  Returns False when the queue is empty."""
+        event = self._queue.pop()
+        if event is None:
+            return False
+        if event.time < self._now:
+            raise SimulationError("event queue produced an event in the past")
+        self._now = event.time
+        self._events_processed += 1
+        event.fire()
+        return True
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Run until the queue drains, ``until`` is reached, or ``max_events`` fire.
+
+        Returns the virtual time at which the run stopped.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run() is not reentrant")
+        self._running = True
+        try:
+            executed = 0
+            while True:
+                if max_events is not None and executed >= max_events:
+                    break
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    self._now = until
+                    break
+                self.step()
+                executed += 1
+            if until is not None and self._now < until and self._queue.peek_time() is None:
+                self._now = until
+            return self._now
+        finally:
+            self._running = False
+
+    def run_until(self, until: float) -> float:
+        """Convenience wrapper for :meth:`run` with a time bound."""
+        return self.run(until=until)
+
+    def reset(self, seed: Optional[int] = None) -> None:
+        """Clear the queue and clock; optionally reseed the random streams."""
+        self._queue.clear()
+        self._now = 0.0
+        self._events_processed = 0
+        if seed is not None:
+            self._streams = RandomStreams(seed)
+        self._metrics = MetricsRegistry(clock=lambda: self._now)

@@ -1,0 +1,105 @@
+"""Event and event-queue primitives for the discrete-event simulator.
+
+Events are ordered by ``(time, priority, sequence)``.  The sequence number is
+a monotonically increasing tiebreaker which guarantees FIFO ordering among
+events scheduled for the same instant, making simulations fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Tuple
+
+from repro.errors import SimulationError
+
+
+@dataclass(order=True)
+class Event:
+    """A single scheduled callback in the simulation.
+
+    Attributes:
+        time: Virtual time (seconds) at which the event fires.
+        priority: Lower values fire first among events at the same time.
+        seq: Monotonic tiebreaker assigned by the queue.
+        callback: Callable invoked when the event fires.
+        args: Positional arguments passed to the callback.
+        cancelled: When True, the engine skips the event.
+    """
+
+    time: float
+    priority: int
+    seq: int
+    callback: Callable[..., Any] = field(compare=False)
+    args: Tuple[Any, ...] = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the engine skips it when popped."""
+        self.cancelled = True
+
+    def fire(self) -> Any:
+        """Invoke the event callback (the engine calls this)."""
+        return self.callback(*self.args)
+
+
+class EventQueue:
+    """A binary-heap priority queue of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._seq = 0
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        args: Tuple[Any, ...] = (),
+        priority: int = 0,
+    ) -> Event:
+        """Schedule ``callback(*args)`` at virtual ``time`` and return the event."""
+        if time < 0:
+            raise SimulationError(f"cannot schedule an event at negative time {time!r}")
+        event = Event(time=time, priority=priority, seq=self._seq, callback=callback, args=args)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Pop the next non-cancelled event, or None if the queue is drained."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._live -= 1
+            return event
+        self._live = 0
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Return the firing time of the next live event without popping it."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            self._live = 0
+            return None
+        return self._heap[0].time
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a previously scheduled event (lazy removal)."""
+        if not event.cancelled:
+            event.cancel()
+            self._live = max(0, self._live - 1)
+
+    def clear(self) -> None:
+        """Drop every pending event."""
+        self._heap.clear()
+        self._live = 0

@@ -1,0 +1,208 @@
+"""Lightweight metrics used by the simulator, nodes, protocols and clients.
+
+The registry deliberately mirrors what the Paxi benchmark records: message
+counters per node, latency histograms per client, and throughput time-series
+sampled over fixed intervals (the paper's Figure 13 samples throughput over
+one-second windows).
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import insort
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+
+class Counter:
+    """A monotonically increasing counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def increment(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("Counter can only be incremented by non-negative amounts")
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+
+class Gauge:
+    """A value that can move up and down (e.g. queue depth)."""
+
+    __slots__ = ("name", "value", "max_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+        self.max_value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        self.max_value = max(self.max_value, value)
+
+    def add(self, amount: float) -> None:
+        self.set(self.value + amount)
+
+
+class Histogram:
+    """An exact histogram of observations with percentile queries.
+
+    Observations are kept sorted; for the sizes used in these simulations
+    (tens of thousands of latency samples) exact percentiles are cheap and
+    avoid approximation artifacts in the reproduced figures.
+    """
+
+    __slots__ = ("name", "_values", "_sum")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._values: List[float] = []
+        self._sum = 0.0
+
+    def observe(self, value: float) -> None:
+        insort(self._values, value)
+        self._sum += value
+
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        return self._sum / len(self._values) if self._values else 0.0
+
+    @property
+    def min(self) -> float:
+        return self._values[0] if self._values else 0.0
+
+    @property
+    def max(self) -> float:
+        return self._values[-1] if self._values else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Return the ``p``-th percentile (0 <= p <= 100) by linear interpolation."""
+        if not self._values:
+            return 0.0
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile must be within [0, 100], got {p!r}")
+        if len(self._values) == 1:
+            return self._values[0]
+        rank = (p / 100.0) * (len(self._values) - 1)
+        low = math.floor(rank)
+        high = math.ceil(rank)
+        if low == high:
+            return self._values[int(rank)]
+        low_value, high_value = self._values[low], self._values[high]
+        if low_value == high_value:
+            return low_value
+        fraction = rank - low
+        interpolated = low_value * (1.0 - fraction) + high_value * fraction
+        # Clamp to the neighbouring samples: interpolation may stray by one ulp.
+        return min(max(interpolated, low_value), high_value)
+
+    @property
+    def median(self) -> float:
+        return self.percentile(50.0)
+
+    def snapshot(self) -> Dict[str, float]:
+        """Summary statistics as a plain dictionary."""
+        return {
+            "count": float(self.count),
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.percentile(50.0),
+            "p90": self.percentile(90.0),
+            "p99": self.percentile(99.0),
+        }
+
+
+class TimeSeries:
+    """Event counts bucketed into fixed-width windows of virtual time."""
+
+    __slots__ = ("name", "interval", "_buckets")
+
+    def __init__(self, name: str, interval: float = 1.0) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.name = name
+        self.interval = interval
+        self._buckets: Dict[int, float] = {}
+
+    def record(self, time: float, amount: float = 1.0) -> None:
+        bucket = int(time // self.interval)
+        self._buckets[bucket] = self._buckets.get(bucket, 0.0) + amount
+
+    def series(self, start: float = 0.0, end: Optional[float] = None) -> List[Tuple[float, float]]:
+        """Return ``(window_start_time, count_per_window)`` pairs covering [start, end)."""
+        if not self._buckets and end is None:
+            return []
+        last_bucket = max(self._buckets) if self._buckets else 0
+        end_bucket = int(end // self.interval) if end is not None else last_bucket + 1
+        start_bucket = int(start // self.interval)
+        return [
+            (bucket * self.interval, self._buckets.get(bucket, 0.0))
+            for bucket in range(start_bucket, end_bucket)
+        ]
+
+    def rates(self, start: float = 0.0, end: Optional[float] = None) -> List[Tuple[float, float]]:
+        """Like :meth:`series`, but values are per-second rates."""
+        return [(t, count / self.interval) for t, count in self.series(start, end)]
+
+
+class MetricsRegistry:
+    """A named collection of counters, gauges, histograms and time-series."""
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None) -> None:
+        self._clock = clock or (lambda: 0.0)
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._series: Dict[str, TimeSeries] = {}
+
+    @property
+    def now(self) -> float:
+        return self._clock()
+
+    def counter(self, name: str) -> Counter:
+        if name not in self._counters:
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        if name not in self._gauges:
+            self._gauges[name] = Gauge(name)
+        return self._gauges[name]
+
+    def histogram(self, name: str) -> Histogram:
+        if name not in self._histograms:
+            self._histograms[name] = Histogram(name)
+        return self._histograms[name]
+
+    def timeseries(self, name: str, interval: float = 1.0) -> TimeSeries:
+        if name not in self._series:
+            self._series[name] = TimeSeries(name, interval)
+        return self._series[name]
+
+    def counters(self) -> Dict[str, float]:
+        return {name: c.value for name, c in sorted(self._counters.items())}
+
+    def histograms(self) -> Dict[str, Dict[str, float]]:
+        return {name: h.snapshot() for name, h in sorted(self._histograms.items())}
+
+    def snapshot(self) -> Dict[str, object]:
+        """A JSON-friendly dump of everything recorded so far."""
+        return {
+            "counters": self.counters(),
+            "gauges": {name: g.value for name, g in sorted(self._gauges.items())},
+            "histograms": self.histograms(),
+        }

@@ -1,0 +1,118 @@
+"""Client commands and their results.
+
+The paper's workload is a key-value workload: 1000 distinct 8-byte keys, with
+8-byte values by default and values up to 1280 bytes in the payload-size
+experiment (Figure 12).  Commands carry an explicit ``payload_size`` so the
+wire-size model can charge for large values without materialising them.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class OpType(enum.Enum):
+    """Operation type of a command."""
+
+    GET = "get"
+    PUT = "put"
+    DELETE = "delete"
+
+    @property
+    def is_read(self) -> bool:
+        return self is OpType.GET
+
+    @property
+    def is_write(self) -> bool:
+        return self is not OpType.GET
+
+
+_command_uids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class Command:
+    """A single key-value operation issued by a client.
+
+    Attributes:
+        op: Operation type.
+        key: Key operated on.
+        value: Value written (PUT only); may be None when only the size matters.
+        payload_size: Number of value bytes carried on the wire.  For PUTs this
+            is the value size; reads carry no payload.
+        client_id: Endpoint id of the issuing client.
+        request_id: Client-local sequence number, unique per client.
+        uid: Globally unique command id (assigned automatically).
+    """
+
+    op: OpType
+    key: str
+    value: Optional[str] = None
+    payload_size: int = 8
+    client_id: int = -1
+    request_id: int = 0
+    uid: int = field(default_factory=lambda: next(_command_uids))
+
+    def __post_init__(self) -> None:
+        if self.payload_size < 0:
+            raise ValueError("payload_size must be non-negative")
+
+    @property
+    def is_read(self) -> bool:
+        return self.op.is_read
+
+    @property
+    def is_write(self) -> bool:
+        return self.op.is_write
+
+    def payload_bytes(self) -> int:
+        """Bytes of user data this command adds to a message carrying it."""
+        key_bytes = len(self.key.encode("utf-8"))
+        if self.op is OpType.GET:
+            return key_bytes
+        return key_bytes + self.payload_size
+
+    def conflicts_with(self, other: "Command") -> bool:
+        """EPaxos-style conflict: same key and at least one of them writes."""
+        if self.key != other.key:
+            return False
+        return self.is_write or other.is_write
+
+
+@dataclass(frozen=True)
+class CommandResult:
+    """Outcome of applying a command to the state machine."""
+
+    command_uid: int
+    success: bool
+    value: Optional[str] = None
+    existed: bool = False
+
+    def payload_bytes(self) -> int:
+        return len(self.value.encode("utf-8")) if self.value else 0
+
+
+class NoOp:
+    """Sentinel command used by Paxos to fill gaps when recovering slots."""
+
+    __slots__ = ("uid",)
+
+    def __init__(self) -> None:
+        self.uid = next(_command_uids)
+
+    @property
+    def is_read(self) -> bool:
+        return False
+
+    @property
+    def is_write(self) -> bool:
+        return False
+
+    def payload_bytes(self) -> int:
+        return 0
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"NoOp(uid={self.uid})"

@@ -1,0 +1,166 @@
+"""The replicated command log shared by Multi-Paxos and PigPaxos.
+
+Each slot holds at most one accepted command together with the ballot under
+which it was accepted.  The log tracks three monotone frontiers:
+
+* the highest slot that holds any entry,
+* the commit frontier (all slots committed up to and including it), and
+* the execute frontier (all slots executed against the state machine).
+
+Execution never skips a gap: a committed slot is executed only when every
+earlier slot has been executed, which is what gives Paxos/PigPaxos their
+linearizable total order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import StateMachineError
+
+
+@dataclass
+class LogEntry:
+    """State of a single consensus slot."""
+
+    slot: int
+    ballot: Tuple[int, int]
+    command: object
+    committed: bool = False
+    executed: bool = False
+
+
+class ReplicatedLog:
+    """Slot-indexed log with gap-aware in-order execution."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[int, LogEntry] = {}
+        self._next_execute = 1
+        self._max_slot = 0
+
+    # ----------------------------------------------------------------- access
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, slot: int) -> bool:
+        return slot in self._entries
+
+    def get(self, slot: int) -> Optional[LogEntry]:
+        return self._entries.get(slot)
+
+    @property
+    def max_slot(self) -> int:
+        """Highest slot that holds an entry (0 when empty)."""
+        return self._max_slot
+
+    @property
+    def next_execute_slot(self) -> int:
+        """The lowest slot that has not been executed yet."""
+        return self._next_execute
+
+    @property
+    def executed_count(self) -> int:
+        return self._next_execute - 1
+
+    def entries(self) -> Iterator[LogEntry]:
+        for slot in sorted(self._entries):
+            yield self._entries[slot]
+
+    # ----------------------------------------------------------------- writes
+    def accept(self, slot: int, ballot: Tuple[int, int], command: object) -> LogEntry:
+        """Record ``command`` as accepted in ``slot`` under ``ballot``.
+
+        A slot may be overwritten by an entry with a higher or equal ballot
+        (leader re-proposal); overwriting a committed slot with a different
+        command is a safety violation and raises.
+        """
+        if slot < 1:
+            raise StateMachineError(f"slots are 1-based, got {slot}")
+        existing = self._entries.get(slot)
+        if existing is not None:
+            if existing.committed and existing.command is not command:
+                same_uid = getattr(existing.command, "uid", None) == getattr(command, "uid", object())
+                if not same_uid:
+                    raise StateMachineError(
+                        f"attempt to overwrite committed slot {slot} with a different command"
+                    )
+            if ballot < existing.ballot and not existing.committed:
+                # Stale accept from an older ballot: keep the newer entry.
+                return existing
+        entry = LogEntry(slot=slot, ballot=ballot, command=command,
+                         committed=existing.committed if existing else False)
+        self._entries[slot] = entry
+        self._max_slot = max(self._max_slot, slot)
+        return entry
+
+    def commit(self, slot: int, ballot: Tuple[int, int], command: object) -> LogEntry:
+        """Mark ``slot`` committed with ``command`` (idempotent)."""
+        entry = self._entries.get(slot)
+        if entry is None:
+            entry = self.accept(slot, ballot, command)
+        elif not entry.committed:
+            entry.command = command
+            entry.ballot = ballot
+        elif getattr(entry.command, "uid", None) != getattr(command, "uid", None):
+            raise StateMachineError(f"conflicting commit for slot {slot}")
+        entry.committed = True
+        return entry
+
+    def is_committed(self, slot: int) -> bool:
+        entry = self._entries.get(slot)
+        return entry is not None and entry.committed
+
+    # ----------------------------------------------------------------- execute
+    def executable_entries(self) -> List[LogEntry]:
+        """Committed-but-unexecuted entries forming a gap-free prefix."""
+        ready: List[LogEntry] = []
+        slot = self._next_execute
+        while True:
+            entry = self._entries.get(slot)
+            if entry is None or not entry.committed:
+                break
+            ready.append(entry)
+            slot += 1
+        return ready
+
+    def execute_ready(self, apply_fn: Callable[[object], object]) -> List[Tuple[LogEntry, object]]:
+        """Execute every ready entry through ``apply_fn`` and advance the frontier."""
+        executed: List[Tuple[LogEntry, object]] = []
+        for entry in self.executable_entries():
+            result = apply_fn(entry.command)
+            entry.executed = True
+            executed.append((entry, result))
+            self._next_execute = entry.slot + 1
+        return executed
+
+    # ----------------------------------------------------------------- queries
+    def first_gap(self) -> int:
+        """Lowest slot >= 1 that holds no entry."""
+        slot = 1
+        while slot in self._entries:
+            slot += 1
+        return slot
+
+    def uncommitted_slots(self) -> List[int]:
+        return [slot for slot, entry in sorted(self._entries.items()) if not entry.committed]
+
+    def committed_commands(self) -> List[object]:
+        """Commands of committed slots, in slot order (for agreement checks)."""
+        return [
+            self._entries[slot].command
+            for slot in sorted(self._entries)
+            if self._entries[slot].committed
+        ]
+
+    def committed_prefix_uids(self) -> List[Optional[int]]:
+        """uids of the gap-free committed prefix, used to compare replicas."""
+        uids: List[Optional[int]] = []
+        slot = 1
+        while True:
+            entry = self._entries.get(slot)
+            if entry is None or not entry.committed:
+                break
+            uids.append(getattr(entry.command, "uid", None))
+            slot += 1
+        return uids

@@ -1,0 +1,38 @@
+"""State-machine snapshots.
+
+Snapshots are not part of the paper's evaluation, but any practical
+deployment of a Paxos-backed key-value store compacts its log; the snapshot
+type is used by the recovery tests and the asyncio runtime's catch-up path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.statemachine.kvstore import KVStore
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """An immutable copy of the store contents up to ``last_executed_slot``."""
+
+    last_executed_slot: int
+    data: Dict[str, str] = field(default_factory=dict)
+    applied_count: int = 0
+
+    @classmethod
+    def capture(cls, store: KVStore, last_executed_slot: int) -> "Snapshot":
+        return cls(
+            last_executed_slot=last_executed_slot,
+            data=store.items(),
+            applied_count=store.applied_count,
+        )
+
+    def restore_into(self, store: KVStore) -> None:
+        store.restore(self.data, applied_count=self.applied_count)
+
+    @property
+    def size_bytes(self) -> int:
+        """Approximate serialized size, used when shipping snapshots over the wire."""
+        return sum(len(k.encode("utf-8")) + len(v.encode("utf-8")) for k, v in self.data.items())

@@ -1,0 +1,24 @@
+"""Paxi-style benchmark workload: key distributions, specs and clients.
+
+The paper's workload is: 1000 distinct 8-byte keys picked uniformly at
+random, 8-byte values (up to 1280 bytes in the payload experiment), an even
+read/write mix (write-only for the payload experiment), driven by closed-loop
+clients that are provisioned so they never become the bottleneck.
+"""
+
+from repro.workload.spec import WorkloadSpec
+from repro.workload.distributions import KeyDistribution, UniformKeys, ZipfianKeys, SequentialKeys
+from repro.workload.generator import CommandGenerator
+from repro.workload.client import ClosedLoopClient, OpenLoopClient, ClientStats
+
+__all__ = [
+    "WorkloadSpec",
+    "KeyDistribution",
+    "UniformKeys",
+    "ZipfianKeys",
+    "SequentialKeys",
+    "CommandGenerator",
+    "ClosedLoopClient",
+    "OpenLoopClient",
+    "ClientStats",
+]

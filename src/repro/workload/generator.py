@@ -1,0 +1,53 @@
+"""Command generation from a workload specification."""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.statemachine.command import Command, OpType
+from repro.workload.distributions import KeyDistribution, make_distribution
+from repro.workload.spec import WorkloadSpec
+
+
+class CommandGenerator:
+    """Turns a :class:`WorkloadSpec` into a stream of commands for one client."""
+
+    def __init__(self, spec: WorkloadSpec, client_id: int, rng: random.Random) -> None:
+        self.spec = spec
+        self.client_id = client_id
+        self._rng = rng
+        self._distribution: KeyDistribution = make_distribution(
+            spec.distribution, spec.num_keys, spec.zipf_theta
+        )
+        self._request_id = 0
+
+    @property
+    def requests_generated(self) -> int:
+        return self._request_id
+
+    def key_for_index(self, index: int) -> str:
+        """A key string padded to the spec's key size (Paxi uses fixed-width keys)."""
+        return f"k{index:0{max(1, self.spec.key_size - 1)}d}"
+
+    def next_command(self) -> Command:
+        self._request_id += 1
+        index = self._distribution.next_index(self._rng)
+        key = self.key_for_index(index)
+        is_read = self._rng.random() < self.spec.read_ratio
+        if is_read:
+            return Command(
+                op=OpType.GET,
+                key=key,
+                payload_size=0,
+                client_id=self.client_id,
+                request_id=self._request_id,
+            )
+        return Command(
+            op=OpType.PUT,
+            key=key,
+            value=None,
+            payload_size=self.spec.value_size,
+            client_id=self.client_id,
+            request_id=self._request_id,
+        )

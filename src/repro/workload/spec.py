@@ -1,0 +1,69 @@
+"""Workload specification.
+
+``WorkloadSpec`` captures everything the paper's benchmark section fixes:
+key-space size, key/value sizes, read ratio and the key-selection
+distribution.  ``WorkloadSpec.paper_default()`` reproduces the default
+configuration used by most figures; ``payload(size)`` reproduces the
+write-only payload sweep of Figure 12.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.errors import WorkloadError
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A complete description of the client workload.
+
+    Attributes:
+        num_keys: Number of distinct keys (the paper uses 1000).
+        key_size: Encoded key size in bytes (8 in the paper).
+        value_size: Value payload in bytes written by PUTs (8 by default,
+            swept 8..1280 in Figure 12).
+        read_ratio: Fraction of operations that are reads (0.5 in most
+            experiments; 0.0 for the payload experiment).
+        distribution: "uniform", "zipfian" or "sequential" key selection.
+        zipf_theta: Skew parameter when distribution == "zipfian".
+    """
+
+    num_keys: int = 1000
+    key_size: int = 8
+    value_size: int = 8
+    read_ratio: float = 0.5
+    distribution: str = "uniform"
+    zipf_theta: float = 0.99
+
+    def __post_init__(self) -> None:
+        if self.num_keys < 1:
+            raise WorkloadError("num_keys must be >= 1")
+        if self.key_size < 1:
+            raise WorkloadError("key_size must be >= 1")
+        if self.value_size < 0:
+            raise WorkloadError("value_size must be >= 0")
+        if not 0.0 <= self.read_ratio <= 1.0:
+            raise WorkloadError("read_ratio must be in [0, 1]")
+        if self.distribution not in ("uniform", "zipfian", "sequential"):
+            raise WorkloadError(f"unknown distribution {self.distribution!r}")
+        if self.distribution == "zipfian" and self.zipf_theta <= 0:
+            raise WorkloadError("zipf_theta must be positive")
+
+    # ------------------------------------------------------------------ presets
+    @classmethod
+    def paper_default(cls) -> "WorkloadSpec":
+        """1000 uniform 8-byte keys, 8-byte values, 50/50 reads and writes."""
+        return cls()
+
+    @classmethod
+    def payload(cls, value_size: int) -> "WorkloadSpec":
+        """The write-only payload-size workload of Figure 12."""
+        return cls(read_ratio=0.0, value_size=value_size)
+
+    def with_value_size(self, value_size: int) -> "WorkloadSpec":
+        return replace(self, value_size=value_size)
+
+    def with_read_ratio(self, read_ratio: float) -> "WorkloadSpec":
+        return replace(self, read_ratio=read_ratio)

@@ -1,0 +1,26 @@
+"""Pytest fixtures shared across the test suite."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+# Make the helper module importable as ``helpers`` regardless of rootdir.
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro.sim.engine import Simulator  # noqa: E402
+from repro.workload.spec import WorkloadSpec  # noqa: E402
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    """A fresh deterministic simulator."""
+    return Simulator(seed=42)
+
+
+@pytest.fixture
+def tiny_workload() -> WorkloadSpec:
+    """A small workload used by integration tests (few keys, small values)."""
+    return WorkloadSpec(num_keys=20, value_size=8, read_ratio=0.5)

@@ -1,0 +1,100 @@
+"""Shared test helpers: a fake node context for replica unit tests."""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro.sim.metrics import MetricsRegistry
+
+
+class FakeTimer:
+    """A manually fired timer returned by :class:`FakeContext.schedule`."""
+
+    def __init__(self, delay: float, callback: Callable[..., Any], args: Tuple[Any, ...]) -> None:
+        self.delay = delay
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+        self.fired = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+    def fire(self) -> None:
+        if not self.cancelled:
+            self.fired = True
+            self.callback(*self.args)
+
+
+class FakeContext:
+    """In-memory NodeContext capturing sends and timers for unit tests."""
+
+    def __init__(self, node_id: int = 0, all_nodes: Sequence[int] = (0, 1, 2, 3, 4), seed: int = 0) -> None:
+        self._node_id = node_id
+        self._all_nodes = list(all_nodes)
+        self._now = 0.0
+        self.sent: List[Tuple[int, Any]] = []
+        self.timers: List[FakeTimer] = []
+        self._rng = random.Random(seed)
+        self._metrics = MetricsRegistry(clock=lambda: self._now)
+        self.executed_commands = 0
+        self.graph_vertices = 0
+        self.overhead_units = 0.0
+
+    # ----------------------------------------------------------------- context API
+    @property
+    def node_id(self) -> int:
+        return self._node_id
+
+    @property
+    def all_nodes(self) -> Sequence[int]:
+        return self._all_nodes
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def rng(self) -> random.Random:
+        return self._rng
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        return self._metrics
+
+    def send(self, dst: int, message: Any) -> None:
+        self.sent.append((dst, message))
+
+    def schedule(self, delay: float, callback: Callable[..., Any], *args: Any) -> FakeTimer:
+        timer = FakeTimer(delay, callback, args)
+        self.timers.append(timer)
+        return timer
+
+    def charge_execution(self, commands: int = 1) -> None:
+        self.executed_commands += commands
+
+    def charge_graph_work(self, vertices: int) -> None:
+        self.graph_vertices += vertices
+
+    def charge_overhead(self, units: float = 1.0) -> None:
+        self.overhead_units += units
+
+    def charge_seconds(self, seconds: float) -> None:
+        pass
+
+    # ----------------------------------------------------------------- test helpers
+    def advance(self, seconds: float) -> None:
+        self._now += seconds
+
+    def sent_to(self, dst: int) -> List[Any]:
+        return [message for target, message in self.sent if target == dst]
+
+    def sent_of_type(self, message_type: type) -> List[Tuple[int, Any]]:
+        return [(target, message) for target, message in self.sent if isinstance(message, message_type)]
+
+    def clear_sent(self) -> None:
+        self.sent.clear()
+
+    def pending_timers(self) -> List[FakeTimer]:
+        return [timer for timer in self.timers if not timer.cancelled and not timer.fired]

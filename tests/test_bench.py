@@ -1,0 +1,150 @@
+"""Tests for the benchmark harness: results, runner, sweeps, time-series, plots."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.plots import ascii_chart, format_table
+from repro.bench.results import RunResult, SweepResult
+from repro.bench.runner import ExperimentConfig, run_experiment
+from repro.bench.sweeps import latency_throughput_sweep, max_throughput
+from repro.bench.timeseries import steady_state_rate, throughput_timeseries
+from repro.cluster.faults import FaultSchedule
+from repro.errors import BenchmarkError
+from repro.workload.spec import WorkloadSpec
+
+
+def _result(throughput: float, latency: float = 0.002, clients: int = 10) -> RunResult:
+    return RunResult(
+        protocol="paxos",
+        num_nodes=5,
+        num_clients=clients,
+        duration=1.0,
+        measured_window=0.8,
+        completed_requests=int(throughput * 0.8),
+        throughput=throughput,
+        latency_mean=latency,
+        latency_p50=latency,
+        latency_p95=latency * 1.5,
+        latency_p99=latency * 2,
+        latency_max=latency * 3,
+    )
+
+
+class TestResults:
+    def test_run_result_serialization(self):
+        result = _result(1000.0)
+        data = result.to_dict()
+        assert data["throughput"] == 1000.0
+        assert data["latency_p99_ms"] == pytest.approx(4.0)
+        json.loads(result.to_json())  # valid JSON
+
+    def test_sweep_series_and_max(self):
+        sweep = SweepResult(label="test")
+        for throughput, latency in [(100, 0.001), (500, 0.002), (480, 0.01)]:
+            sweep.add(_result(throughput, latency))
+        assert sweep.max_throughput() == 500
+        assert sweep.best_run().throughput == 500
+        series = sweep.latency_throughput_series()
+        assert series[0] == (100, 1.0)
+        assert len(series) == 3
+
+    def test_saturation_run_respects_latency_budget(self):
+        sweep = SweepResult(label="test")
+        sweep.add(_result(500, 0.002))
+        sweep.add(_result(900, 0.050))
+        assert sweep.saturation_run(latency_budget_ms=10).throughput == 500
+        assert sweep.saturation_run().throughput == 900
+
+    def test_unknown_percentile_rejected(self):
+        sweep = SweepResult(label="test")
+        sweep.add(_result(100))
+        with pytest.raises(ValueError):
+            sweep.latency_throughput_series(percentile="p75")
+
+
+class TestRunner:
+    def test_run_experiment_produces_throughput_and_latency(self, tiny_workload):
+        config = ExperimentConfig(protocol="paxos", num_nodes=3, num_clients=4,
+                                  duration=0.4, warmup=0.1, workload=tiny_workload, seed=2)
+        result = run_experiment(config)
+        assert result.completed_requests > 0
+        assert result.throughput > 0
+        assert 0 < result.latency_mean < 0.1
+        assert result.latency_p99 >= result.latency_p50
+
+    def test_invalid_window_rejected(self):
+        config = ExperimentConfig(duration=0.2, warmup=0.2)
+        with pytest.raises(BenchmarkError):
+            run_experiment(config)
+
+    def test_relay_groups_recorded_in_extra(self, tiny_workload):
+        config = ExperimentConfig(protocol="pigpaxos", num_nodes=5, num_clients=2,
+                                  relay_groups=2, duration=0.4, warmup=0.1,
+                                  workload=tiny_workload, seed=2)
+        result = run_experiment(config)
+        assert result.extra["relay_groups"] == 2
+
+    def test_same_seed_reproducible(self, tiny_workload):
+        config = ExperimentConfig(protocol="pigpaxos", num_nodes=5, num_clients=3,
+                                  relay_groups=2, duration=0.4, warmup=0.1,
+                                  workload=tiny_workload, seed=7)
+        assert run_experiment(config).throughput == run_experiment(config).throughput
+
+    def test_fault_schedule_flows_through(self, tiny_workload):
+        schedule = FaultSchedule().crash(2, at=0.1)
+        config = ExperimentConfig(protocol="paxos", num_nodes=3, num_clients=2,
+                                  duration=0.4, warmup=0.1, workload=tiny_workload,
+                                  fault_schedule=schedule, seed=2)
+        result = run_experiment(config)
+        assert result.completed_requests > 0  # majority still alive
+
+
+class TestSweeps:
+    def test_latency_throughput_sweep_runs_each_point(self, tiny_workload):
+        config = ExperimentConfig(protocol="paxos", num_nodes=3, duration=0.3, warmup=0.1,
+                                  workload=tiny_workload, seed=2)
+        sweep = latency_throughput_sweep(config, client_counts=[1, 2, 4])
+        assert len(sweep) == 3
+        assert [run.num_clients for run in sweep] == [1, 2, 4]
+
+    def test_throughput_grows_then_saturates(self, tiny_workload):
+        config = ExperimentConfig(protocol="paxos", num_nodes=3, duration=0.3, warmup=0.1,
+                                  workload=tiny_workload, seed=2)
+        sweep = latency_throughput_sweep(config, client_counts=[1, 8])
+        assert sweep.runs[1].throughput > sweep.runs[0].throughput
+
+    def test_max_throughput_returns_best(self, tiny_workload):
+        config = ExperimentConfig(protocol="paxos", num_nodes=3, duration=0.3, warmup=0.1,
+                                  workload=tiny_workload, seed=2)
+        best, sweep = max_throughput(config, client_counts=[1, 4, 8])
+        assert best.throughput == sweep.max_throughput()
+
+
+class TestTimeseries:
+    def test_throughput_timeseries_covers_run(self, tiny_workload):
+        config = ExperimentConfig(protocol="paxos", num_nodes=3, num_clients=4,
+                                  duration=1.0, warmup=0.1, workload=tiny_workload, seed=2)
+        series, cluster = throughput_timeseries(config, interval=0.25)
+        assert len(series) == 4
+        assert sum(rate * 0.25 for _, rate in series) == cluster.total_completed_requests()
+        assert steady_state_rate(series, skip=1) > 0
+
+
+class TestPlots:
+    def test_format_table_aligns_columns(self):
+        table = format_table(["name", "value"], [["paxos", 2000.0], ["pigpaxos", 7000.0]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert "paxos" in lines[2] and "pigpaxos" in lines[3]
+
+    def test_ascii_chart_renders_series(self):
+        chart = ascii_chart({"paxos": [(0, 1), (10, 2)], "pig": [(0, 1.5), (10, 1.6)]},
+                            width=20, height=5)
+        assert "legend" in chart
+        assert "*" in chart and "o" in chart
+
+    def test_ascii_chart_empty(self):
+        assert ascii_chart({}) == "(no data)"

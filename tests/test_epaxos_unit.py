@@ -1,0 +1,208 @@
+"""Unit tests for the EPaxos replica and its dependency graph."""
+
+from __future__ import annotations
+
+import pytest
+
+from helpers import FakeContext
+
+from repro.epaxos.graph import DependencyGraph
+from repro.epaxos.messages import (
+    EAccept,
+    EAcceptReply,
+    ECommit,
+    EPreAccept,
+    EPreAcceptReply,
+)
+from repro.epaxos.replica import EPaxosReplica
+from repro.protocol.messages import ClientReply, ClientRequest
+from repro.statemachine.command import Command, OpType
+
+
+def make_replica(node_id=0, cluster=5):
+    ctx = FakeContext(node_id=node_id, all_nodes=list(range(cluster)))
+    replica = EPaxosReplica()
+    replica.bind(ctx)
+    replica.start()
+    return replica, ctx
+
+
+def request(key="k", client_id=1000, request_id=1) -> ClientRequest:
+    return ClientRequest(
+        command=Command(op=OpType.PUT, key=key, payload_size=8, client_id=client_id, request_id=request_id)
+    )
+
+
+class TestDependencyGraph:
+    def test_linear_chain_executes_in_dependency_order(self):
+        graph = DependencyGraph()
+        graph.add_committed((0, 1), seq=1, deps=frozenset())
+        graph.add_committed((0, 2), seq=2, deps=frozenset({(0, 1)}))
+        order, visited = graph.execution_order((0, 2))
+        assert order == [(0, 1), (0, 2)]
+        assert visited >= 2
+
+    def test_blocked_on_uncommitted_dependency(self):
+        graph = DependencyGraph()
+        graph.add_committed((0, 2), seq=2, deps=frozenset({(0, 1)}))
+        order, _ = graph.execution_order((0, 2))
+        assert order == []
+
+    def test_cycle_resolved_by_seq_then_instance(self):
+        graph = DependencyGraph()
+        graph.add_committed((0, 1), seq=2, deps=frozenset({(1, 1)}))
+        graph.add_committed((1, 1), seq=1, deps=frozenset({(0, 1)}))
+        order, _ = graph.execution_order((0, 1))
+        assert order == [(1, 1), (0, 1)]  # lower seq first within the SCC
+
+    def test_executed_dependencies_are_skipped(self):
+        graph = DependencyGraph()
+        graph.add_committed((0, 1), seq=1, deps=frozenset())
+        graph.mark_executed((0, 1))
+        graph.add_committed((0, 2), seq=2, deps=frozenset({(0, 1)}))
+        order, _ = graph.execution_order((0, 2))
+        assert order == [(0, 2)]
+
+    def test_already_executed_root_returns_empty(self):
+        graph = DependencyGraph()
+        graph.add_committed((0, 1), seq=1, deps=frozenset())
+        graph.mark_executed((0, 1))
+        assert graph.execution_order((0, 1)) == ([], 0)
+
+    def test_diamond_dependencies(self):
+        graph = DependencyGraph()
+        graph.add_committed((0, 1), seq=1, deps=frozenset())
+        graph.add_committed((1, 1), seq=2, deps=frozenset({(0, 1)}))
+        graph.add_committed((2, 1), seq=2, deps=frozenset({(0, 1)}))
+        graph.add_committed((3, 1), seq=3, deps=frozenset({(1, 1), (2, 1)}))
+        order, _ = graph.execution_order((3, 1))
+        assert order[0] == (0, 1)
+        assert order[-1] == (3, 1)
+        assert set(order) == {(0, 1), (1, 1), (2, 1), (3, 1)}
+
+
+class TestCommandLeaderPath:
+    def test_preaccept_broadcast_to_all_peers(self):
+        replica, ctx = make_replica()
+        replica.on_message(1000, request())
+        preaccepts = ctx.sent_of_type(EPreAccept)
+        assert len(preaccepts) == 4
+        assert all(msg.instance == (0, 1) for _, msg in preaccepts)
+
+    def test_fast_path_commit_when_replies_unchanged(self):
+        replica, ctx = make_replica()
+        replica.on_message(1000, request(client_id=1000, request_id=5))
+        original = ctx.sent_of_type(EPreAccept)[0][1]
+        ctx.clear_sent()
+        # Fast quorum for n=5 is 3 (leader + 2 unchanged replies).
+        for voter in (1, 2):
+            replica.on_message(voter, EPreAcceptReply(
+                instance=original.instance, voter=voter, ok=True,
+                seq=original.seq, deps=original.deps, changed=False))
+        commits = ctx.sent_of_type(ECommit)
+        assert len(commits) == 4  # commit broadcast to everyone
+        replies = ctx.sent_of_type(ClientReply)
+        assert replies and replies[0][0] == 1000
+        assert ctx.metrics.counter("epaxos.fast_path_commits").value == 1
+
+    def test_changed_reply_forces_slow_path(self):
+        replica, ctx = make_replica()
+        replica.on_message(1000, request())
+        original = ctx.sent_of_type(EPreAccept)[0][1]
+        ctx.clear_sent()
+        extra_dep = frozenset({(3, 9)})
+        replica.on_message(1, EPreAcceptReply(
+            instance=original.instance, voter=1, ok=True,
+            seq=original.seq + 1, deps=original.deps | extra_dep, changed=True))
+        replica.on_message(2, EPreAcceptReply(
+            instance=original.instance, voter=2, ok=True,
+            seq=original.seq, deps=original.deps, changed=False))
+        accepts = ctx.sent_of_type(EAccept)
+        assert len(accepts) == 4
+        assert accepts[0][1].deps >= extra_dep
+        assert ctx.sent_of_type(ECommit) == []  # not committed yet
+        # Majority of accept replies commits.
+        ctx.clear_sent()
+        for voter in (1, 2):
+            replica.on_message(voter, EAcceptReply(instance=original.instance, voter=voter, ok=True))
+        assert ctx.sent_of_type(ECommit)
+
+    def test_sequential_conflicting_commands_get_dependencies(self):
+        replica, ctx = make_replica()
+        replica.on_message(1000, request(key="same", request_id=1))
+        first = ctx.sent_of_type(EPreAccept)[0][1]
+        ctx.clear_sent()
+        replica.on_message(1001, request(key="same", client_id=1001, request_id=1))
+        second = ctx.sent_of_type(EPreAccept)[0][1]
+        assert first.instance in second.deps
+        assert second.seq > first.seq
+
+    def test_non_conflicting_commands_have_no_deps(self):
+        replica, ctx = make_replica()
+        replica.on_message(1000, request(key="a"))
+        ctx.clear_sent()
+        replica.on_message(1001, request(key="b", client_id=1001))
+        second = ctx.sent_of_type(EPreAccept)[0][1]
+        assert second.deps == frozenset()
+
+    def test_bookkeeping_cost_charged_per_instance(self):
+        replica, ctx = make_replica()
+        replica.on_message(1000, request())
+        assert ctx.overhead_units == 1.0
+
+
+class TestAcceptorPath:
+    def test_preaccept_reply_reports_local_conflicts(self):
+        replica, ctx = make_replica(node_id=1)
+        # A previously known instance on the same key.
+        replica.on_message(2, ECommit(instance=(2, 1),
+                                      command=Command(op=OpType.PUT, key="same", payload_size=8),
+                                      seq=4, deps=frozenset()))
+        ctx.clear_sent()
+        replica.on_message(0, EPreAccept(instance=(0, 1),
+                                         command=Command(op=OpType.PUT, key="same", payload_size=8),
+                                         seq=1, deps=frozenset()))
+        reply = ctx.sent_of_type(EPreAcceptReply)[0][1]
+        assert reply.changed
+        assert (2, 1) in reply.deps
+        assert reply.seq >= 5
+
+    def test_unchanged_preaccept_reply_when_no_conflicts(self):
+        replica, ctx = make_replica(node_id=1)
+        replica.on_message(0, EPreAccept(instance=(0, 1),
+                                         command=Command(op=OpType.PUT, key="x", payload_size=8),
+                                         seq=1, deps=frozenset()))
+        reply = ctx.sent_of_type(EPreAcceptReply)[0][1]
+        assert not reply.changed
+
+    def test_accept_acknowledged(self):
+        replica, ctx = make_replica(node_id=3)
+        replica.on_message(0, EAccept(instance=(0, 1),
+                                      command=Command(op=OpType.PUT, key="x", payload_size=8),
+                                      seq=1, deps=frozenset()))
+        replies = ctx.sent_of_type(EAcceptReply)
+        assert replies and replies[0][1].ok
+
+    def test_commit_executes_on_every_replica(self):
+        replica, ctx = make_replica(node_id=4)
+        command = Command(op=OpType.PUT, key="x", value="42", payload_size=2)
+        replica.on_message(0, ECommit(instance=(0, 1), command=command, seq=1, deps=frozenset()))
+        assert replica.store.get("x") == "42"
+        assert ctx.executed_commands == 1
+
+    def test_execution_waits_for_dependencies(self):
+        replica, ctx = make_replica(node_id=4)
+        first = Command(op=OpType.PUT, key="x", value="1", payload_size=1)
+        second = Command(op=OpType.PUT, key="x", value="2", payload_size=1)
+        # Commit the dependent instance before its dependency.
+        replica.on_message(0, ECommit(instance=(0, 2), command=second, seq=2, deps=frozenset({(0, 1)})))
+        assert replica.store.get("x") is None
+        replica.on_message(0, ECommit(instance=(0, 1), command=first, seq=1, deps=frozenset()))
+        # Both now execute, dependency first.
+        assert replica.store.get("x") == "2"
+
+    def test_single_node_cluster_commits_immediately(self):
+        replica, ctx = make_replica(node_id=0, cluster=1)
+        replica.on_message(1000, request())
+        assert ctx.sent_of_type(ClientReply)
+        assert replica.graph.executed_count == 1

@@ -1,0 +1,270 @@
+"""Unit tests for the Multi-Paxos replica, driven through a fake context."""
+
+from __future__ import annotations
+
+import pytest
+
+from helpers import FakeContext
+
+from repro.paxos.replica import MultiPaxosReplica
+from repro.protocol.ballot import Ballot
+from repro.protocol.config import ProtocolConfig
+from repro.protocol.messages import (
+    ClientReply,
+    ClientRequest,
+    FillReply,
+    FillRequest,
+    Heartbeat,
+    P1a,
+    P1b,
+    P2a,
+    P2b,
+)
+from repro.statemachine.command import Command, OpType
+
+
+def make_replica(node_id: int = 0, cluster: int = 5, leader: int = 0):
+    ctx = FakeContext(node_id=node_id, all_nodes=list(range(cluster)))
+    replica = MultiPaxosReplica(config=ProtocolConfig(initial_leader=leader))
+    replica.bind(ctx)
+    return replica, ctx
+
+
+def client_request(key: str = "k", client_id: int = 1000, request_id: int = 1) -> ClientRequest:
+    return ClientRequest(
+        command=Command(op=OpType.PUT, key=key, payload_size=8, client_id=client_id, request_id=request_id)
+    )
+
+
+def elect(replica, ctx):
+    """Drive the replica through phase-1 until it is the leader."""
+    replica.start()
+    for timer in list(ctx.pending_timers()):
+        if timer.delay == 0.0:
+            timer.fire()
+    for voter in (1, 2):
+        replica.on_message(voter, P1b(ballot=replica.ballot, voter=voter, ok=True))
+    assert replica.is_leader
+    ctx.clear_sent()
+
+
+class TestPhase1:
+    def test_initial_leader_broadcasts_p1a(self):
+        replica, ctx = make_replica()
+        replica.start()
+        for timer in list(ctx.pending_timers()):
+            if timer.delay == 0.0:
+                timer.fire()
+        p1as = ctx.sent_of_type(P1a)
+        assert len(p1as) == 4  # every peer
+        assert replica.ballot.leader == 0
+
+    def test_becomes_leader_after_majority_promises(self):
+        replica, ctx = make_replica()
+        elect(replica, ctx)
+        assert replica.leader_id == 0
+
+    def test_follower_promises_higher_ballot(self):
+        replica, ctx = make_replica(node_id=1, leader=0)
+        ballot = Ballot(5, 0)
+        replica.on_message(0, P1a(ballot=ballot))
+        replies = ctx.sent_of_type(P1b)
+        assert len(replies) == 1
+        assert replies[0][1].ok
+        assert replica.promised == ballot
+
+    def test_follower_rejects_lower_ballot(self):
+        replica, ctx = make_replica(node_id=1)
+        replica.on_message(0, P1a(ballot=Ballot(5, 0)))
+        ctx.clear_sent()
+        replica.on_message(2, P1a(ballot=Ballot(3, 2)))
+        reply = ctx.sent_of_type(P1b)[0][1]
+        assert not reply.ok
+        assert reply.ballot == Ballot(5, 0)
+
+    def test_new_leader_reproposes_accepted_commands(self):
+        replica, ctx = make_replica()
+        replica.start()
+        for timer in list(ctx.pending_timers()):
+            if timer.delay == 0.0:
+                timer.fire()
+        old_command = Command(op=OpType.PUT, key="old", payload_size=8)
+        replica.on_message(1, P1b(ballot=replica.ballot, voter=1, ok=True,
+                                  accepted={1: (Ballot(1, 3), old_command)}))
+        replica.on_message(2, P1b(ballot=replica.ballot, voter=2, ok=True))
+        assert replica.is_leader
+        reproposed = [msg for _, msg in ctx.sent_of_type(P2a) if msg.slot == 1]
+        assert reproposed and reproposed[0].command is old_command
+
+
+class TestPhase2:
+    def test_leader_fans_out_p2a_to_all_followers(self):
+        replica, ctx = make_replica()
+        elect(replica, ctx)
+        replica.on_message(1000, client_request())
+        p2as = ctx.sent_of_type(P2a)
+        assert len(p2as) == 4
+        assert {dst for dst, _ in p2as} == {1, 2, 3, 4}
+
+    def test_commit_after_majority_and_reply_to_client(self):
+        replica, ctx = make_replica()
+        elect(replica, ctx)
+        replica.on_message(1000, client_request(client_id=1000, request_id=7))
+        slot = ctx.sent_of_type(P2a)[0][1].slot
+        replica.on_message(1, P2b(ballot=replica.ballot, slot=slot, voter=1, ok=True))
+        assert not replica.log.is_committed(slot)  # 2 of 5 votes so far (leader + 1)
+        replica.on_message(2, P2b(ballot=replica.ballot, slot=slot, voter=2, ok=True))
+        assert replica.log.is_committed(slot)
+        replies = ctx.sent_of_type(ClientReply)
+        assert len(replies) == 1
+        dst, reply = replies[0]
+        assert dst == 1000 and reply.request_id == 7 and reply.success
+
+    def test_duplicate_votes_do_not_commit_early(self):
+        replica, ctx = make_replica()
+        elect(replica, ctx)
+        replica.on_message(1000, client_request())
+        slot = ctx.sent_of_type(P2a)[0][1].slot
+        replica.on_message(1, P2b(ballot=replica.ballot, slot=slot, voter=1, ok=True))
+        replica.on_message(1, P2b(ballot=replica.ballot, slot=slot, voter=1, ok=True))
+        assert not replica.log.is_committed(slot)
+
+    def test_follower_accepts_and_votes(self):
+        replica, ctx = make_replica(node_id=2)
+        ballot = Ballot(1, 0)
+        command = Command(op=OpType.PUT, key="x", payload_size=8)
+        replica.on_message(0, P2a(ballot=ballot, slot=1, command=command, commit_upto=0))
+        votes = ctx.sent_of_type(P2b)
+        assert len(votes) == 1 and votes[0][0] == 0 and votes[0][1].ok
+        assert replica.log.get(1).command is command
+
+    def test_follower_rejects_stale_ballot_p2a(self):
+        replica, ctx = make_replica(node_id=2)
+        replica.on_message(0, P1a(ballot=Ballot(9, 0)))
+        ctx.clear_sent()
+        replica.on_message(1, P2a(ballot=Ballot(2, 1), slot=1, command=None, commit_upto=0))
+        vote = ctx.sent_of_type(P2b)[0][1]
+        assert not vote.ok and vote.ballot == Ballot(9, 0)
+
+    def test_leader_steps_down_on_higher_ballot_nack(self):
+        replica, ctx = make_replica()
+        elect(replica, ctx)
+        replica.on_message(1000, client_request())
+        slot = ctx.sent_of_type(P2a)[0][1].slot
+        replica.on_message(3, P2b(ballot=Ballot(10, 3), slot=slot, voter=3, ok=False))
+        assert not replica.is_leader
+        assert replica.leader_id == 3
+
+    def test_reply_routed_via_command_client_id(self):
+        replica, ctx = make_replica()
+        elect(replica, ctx)
+        # Request forwarded by another replica: src is a node, but the command
+        # carries the real client id.
+        replica.on_message(3, client_request(client_id=1234, request_id=9))
+        slot = ctx.sent_of_type(P2a)[0][1].slot
+        for voter in (1, 2):
+            replica.on_message(voter, P2b(ballot=replica.ballot, slot=slot, voter=voter, ok=True))
+        dst, reply = ctx.sent_of_type(ClientReply)[0]
+        assert dst == 1234 and reply.client_id == 1234
+
+
+class TestCommitPropagation:
+    def test_piggybacked_commit_frontier_executes_on_follower(self):
+        replica, ctx = make_replica(node_id=1)
+        ballot = Ballot(1, 0)
+        first = Command(op=OpType.PUT, key="a", value="1")
+        second = Command(op=OpType.PUT, key="b", value="2")
+        replica.on_message(0, P2a(ballot=ballot, slot=1, command=first, commit_upto=0))
+        replica.on_message(0, P2a(ballot=ballot, slot=2, command=second, commit_upto=1))
+        assert replica.log.is_committed(1)
+        assert replica.store.get("a") == "1"
+        assert not replica.log.is_committed(2)
+
+    def test_heartbeat_advances_commit_frontier(self):
+        replica, ctx = make_replica(node_id=1)
+        ballot = Ballot(1, 0)
+        command = Command(op=OpType.PUT, key="a", value="1")
+        replica.on_message(0, P2a(ballot=ballot, slot=1, command=command, commit_upto=0))
+        replica.on_message(0, Heartbeat(ballot=ballot, commit_upto=1))
+        assert replica.log.is_committed(1)
+        assert replica.store.get("a") == "1"
+
+    def test_mismatched_ballot_triggers_fill_request(self):
+        replica, ctx = make_replica(node_id=1)
+        old, new = Ballot(1, 0), Ballot(2, 2)
+        replica.on_message(0, P2a(ballot=old, slot=1, command=Command(op=OpType.PUT, key="a"), commit_upto=0))
+        # New leader says slot 1 is committed, but our entry is from the old ballot.
+        replica.on_message(2, Heartbeat(ballot=new, commit_upto=1))
+        fill_timers = [t for t in ctx.pending_timers() if t.callback == replica._request_fill]
+        assert fill_timers
+        fill_timers[0].fire()
+        requests = ctx.sent_of_type(FillRequest)
+        assert requests and requests[0][1].slots == (1,)
+
+    def test_leader_answers_fill_request(self):
+        replica, ctx = make_replica()
+        elect(replica, ctx)
+        replica.on_message(1000, client_request())
+        slot = ctx.sent_of_type(P2a)[0][1].slot
+        for voter in (1, 2):
+            replica.on_message(voter, P2b(ballot=replica.ballot, slot=slot, voter=voter, ok=True))
+        ctx.clear_sent()
+        replica.on_message(4, FillRequest(slots=(slot,), requester=4))
+        replies = ctx.sent_of_type(FillReply)
+        assert replies and replies[0][0] == 4
+        assert replies[0][1].entries[0][0] == slot
+
+    def test_follower_applies_fill_reply(self):
+        replica, ctx = make_replica(node_id=4)
+        command = Command(op=OpType.PUT, key="z", value="9")
+        replica.on_message(0, FillReply(entries=((1, Ballot(1, 0), command),)))
+        assert replica.log.is_committed(1)
+        assert replica.store.get("z") == "9"
+
+
+class TestClientHandling:
+    def test_non_leader_redirects_to_known_leader(self):
+        replica, ctx = make_replica(node_id=2)
+        replica.on_message(0, P2a(ballot=Ballot(1, 0), slot=1,
+                                  command=Command(op=OpType.PUT, key="x"), commit_upto=0))
+        ctx.clear_sent()
+        request = client_request(client_id=1000, request_id=4)
+        replica.on_message(1000, request)
+        redirects = ctx.sent_of_type(ClientReply)
+        assert redirects and redirects[0][0] == 1000
+        reply = redirects[0][1]
+        assert not reply.success and reply.leader_hint == 0 and reply.request_id == 4
+
+    def test_request_queued_until_leadership_known(self):
+        replica, ctx = make_replica(node_id=2, leader=0)
+        request = client_request()
+        replica.on_message(1000, request)
+        assert ctx.sent_of_type(P2a) == []
+        assert replica._pending_requests
+
+
+class TestFailover:
+    def test_election_triggered_after_leader_silence(self):
+        replica, ctx = make_replica(node_id=3, leader=0)
+        replica.start()
+        ctx.advance(10.0)
+        liveness = [t for t in ctx.pending_timers() if t.callback == replica._check_leader_liveness]
+        liveness[0].fire()
+        assert ctx.sent_of_type(P1a)
+
+    def test_crash_drops_leader_state_but_keeps_log(self):
+        replica, ctx = make_replica()
+        elect(replica, ctx)
+        replica.on_message(1000, client_request())
+        replica.on_crash()
+        assert not replica.is_leader
+        assert len(replica.log) >= 1  # stable storage survives
+        replica.on_recover()
+        assert not replica.is_leader
+
+    def test_status_snapshot_keys(self):
+        replica, ctx = make_replica()
+        elect(replica, ctx)
+        status = replica.status()
+        assert status["is_leader"] is True
+        assert status["node"] == 0

@@ -1,0 +1,142 @@
+"""Unit tests for quorum systems and vote trackers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import QuorumError
+from repro.protocol.ballot import Ballot
+from repro.quorum.systems import FastQuorum, FlexibleQuorum, MajorityQuorum
+from repro.quorum.tracker import BallotVoteTracker, VoteTracker
+
+
+class TestMajorityQuorum:
+    @pytest.mark.parametrize("n,expected", [(1, 1), (3, 2), (5, 3), (9, 5), (25, 13)])
+    def test_majority_sizes(self, n, expected):
+        quorum = MajorityQuorum(n)
+        assert quorum.phase1_size == expected
+        assert quorum.phase2_size == expected
+
+    def test_max_failures_matches_f(self):
+        assert MajorityQuorum(5).max_failures == 2
+        assert MajorityQuorum(25).max_failures == 12
+
+    def test_satisfaction(self):
+        quorum = MajorityQuorum(5)
+        assert quorum.phase2_satisfied(3)
+        assert not quorum.phase2_satisfied(2)
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(QuorumError):
+            MajorityQuorum(0)
+
+
+class TestFlexibleQuorum:
+    def test_paper_example_10_nodes(self):
+        # Paper Section 2.2: N=10, Q2=3 requires Q1=8.
+        quorum = FlexibleQuorum(10, q1=8, q2=3)
+        assert quorum.phase1_size == 8
+        assert quorum.phase2_size == 3
+        assert quorum.max_failures == 2
+
+    def test_non_intersecting_quorums_rejected(self):
+        with pytest.raises(QuorumError):
+            FlexibleQuorum(10, q1=5, q2=5)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(QuorumError):
+            FlexibleQuorum(10, q1=11, q2=3)
+
+
+class TestFastQuorum:
+    def test_fast_path_size_formula(self):
+        # n = 2f+1, fast quorum = f + floor((f+1)/2)
+        assert FastQuorum(5).fast_path_size == 3
+        assert FastQuorum(25).fast_path_size == 18
+        assert FastQuorum(9).f == 4
+
+    def test_slow_path_is_majority(self):
+        assert FastQuorum(25).phase2_size == 13
+
+    def test_fast_path_satisfied(self):
+        quorum = FastQuorum(5)
+        assert quorum.fast_path_satisfied(3)
+        assert not quorum.fast_path_satisfied(2)
+
+
+class TestVoteTracker:
+    def test_quorum_reached_on_required_acks(self):
+        tracker = VoteTracker(required=3)
+        assert not tracker.ack(1)
+        assert not tracker.ack(2)
+        assert tracker.ack(3)
+        assert tracker.satisfied
+
+    def test_duplicate_acks_do_not_double_count(self):
+        tracker = VoteTracker(required=2)
+        tracker.ack(1)
+        assert not tracker.ack(1)
+        assert tracker.ack_count == 1
+
+    def test_nack_overrides_ack(self):
+        tracker = VoteTracker(required=2)
+        tracker.ack(1)
+        tracker.nack(1)
+        assert tracker.ack_count == 0
+        assert tracker.nack_count == 1
+        # Further acks from a nacked voter are ignored.
+        tracker.ack(1)
+        assert tracker.ack_count == 0
+
+    def test_restricted_voter_set(self):
+        tracker = VoteTracker(required=2, voters={1, 2, 3})
+        with pytest.raises(QuorumError):
+            tracker.ack(9)
+
+    def test_rejected_when_quorum_impossible(self):
+        tracker = VoteTracker(required=3, voters={1, 2, 3})
+        tracker.nack(1)
+        assert tracker.rejected
+
+    def test_zero_required_rejected(self):
+        with pytest.raises(QuorumError):
+            VoteTracker(required=0)
+
+
+class TestBallotVoteTracker:
+    def test_merges_highest_ballot_accepted_value(self):
+        tracker = BallotVoteTracker(required=2)
+        low, high = Ballot(1, 0), Ballot(2, 1)
+        tracker.ack(1, {5: (low, "old")})
+        tracker.ack(2, {5: (high, "new"), 7: (low, "seven")})
+        assert tracker.satisfied
+        assert tracker.commands_to_repropose() == {5: "new", 7: "seven"}
+
+    def test_no_accepted_entries(self):
+        tracker = BallotVoteTracker(required=1)
+        tracker.ack(1)
+        assert tracker.commands_to_repropose() == {}
+
+    def test_nack_does_not_satisfy(self):
+        tracker = BallotVoteTracker(required=2)
+        tracker.ack(1)
+        tracker.nack(2)
+        assert not tracker.satisfied
+
+
+class TestBallot:
+    def test_ordering_is_lexicographic(self):
+        assert Ballot(1, 2) < Ballot(2, 0)
+        assert Ballot(2, 1) > Ballot(2, 0)
+
+    def test_next_for_increments_round(self):
+        ballot = Ballot(3, 1).next_for(7)
+        assert ballot == Ballot(4, 7)
+        assert ballot.leader == 7
+
+    def test_zero_is_smallest(self):
+        assert Ballot.zero() < Ballot(1, 0)
+        assert Ballot.zero().is_zero()
+
+    def test_str_format(self):
+        assert str(Ballot(4, 2)) == "4.2"

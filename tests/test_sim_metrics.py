@@ -1,0 +1,127 @@
+"""Unit tests for counters, gauges, histograms, time-series and the registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.metrics import Counter, Gauge, Histogram, MetricsRegistry, TimeSeries
+
+
+class TestCounter:
+    def test_increment_accumulates(self):
+        counter = Counter("c")
+        counter.increment()
+        counter.increment(2.5)
+        assert counter.value == 3.5
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("c").increment(-1)
+
+    def test_reset(self):
+        counter = Counter("c")
+        counter.increment(4)
+        counter.reset()
+        assert counter.value == 0.0
+
+
+class TestGauge:
+    def test_set_and_max_tracking(self):
+        gauge = Gauge("g")
+        gauge.set(3.0)
+        gauge.set(1.0)
+        assert gauge.value == 1.0
+        assert gauge.max_value == 3.0
+
+    def test_add_moves_value(self):
+        gauge = Gauge("g")
+        gauge.add(2.0)
+        gauge.add(-1.0)
+        assert gauge.value == 1.0
+
+
+class TestHistogram:
+    def test_mean_min_max(self):
+        histogram = Histogram("h")
+        for value in (1.0, 2.0, 3.0):
+            histogram.observe(value)
+        assert histogram.mean == pytest.approx(2.0)
+        assert histogram.min == 1.0
+        assert histogram.max == 3.0
+        assert histogram.count == 3
+
+    def test_percentiles_interpolate(self):
+        histogram = Histogram("h")
+        for value in range(1, 101):
+            histogram.observe(float(value))
+        assert histogram.percentile(50) == pytest.approx(50.5)
+        assert histogram.percentile(99) == pytest.approx(99.01)
+        assert histogram.median == histogram.percentile(50)
+
+    def test_empty_histogram_is_zero(self):
+        histogram = Histogram("h")
+        assert histogram.mean == 0.0
+        assert histogram.percentile(99) == 0.0
+
+    def test_percentile_bounds_validated(self):
+        histogram = Histogram("h")
+        histogram.observe(1.0)
+        with pytest.raises(ValueError):
+            histogram.percentile(101)
+
+    def test_snapshot_keys(self):
+        histogram = Histogram("h")
+        histogram.observe(1.0)
+        snapshot = histogram.snapshot()
+        assert set(snapshot) == {"count", "mean", "min", "max", "p50", "p90", "p99"}
+
+
+class TestTimeSeries:
+    def test_records_bucketed_by_interval(self):
+        series = TimeSeries("t", interval=1.0)
+        series.record(0.5)
+        series.record(0.9)
+        series.record(1.1)
+        values = dict(series.series(0.0, 2.0))
+        assert values[0.0] == 2.0
+        assert values[1.0] == 1.0
+
+    def test_rates_divide_by_interval(self):
+        series = TimeSeries("t", interval=0.5)
+        series.record(0.1)
+        series.record(0.2)
+        rates = dict(series.rates(0.0, 0.5))
+        assert rates[0.0] == pytest.approx(4.0)
+
+    def test_missing_buckets_are_zero(self):
+        series = TimeSeries("t", interval=1.0)
+        series.record(2.5)
+        values = dict(series.series(0.0, 3.0))
+        assert values[0.0] == 0.0 and values[1.0] == 0.0 and values[2.0] == 1.0
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ValueError):
+            TimeSeries("t", interval=0.0)
+
+
+class TestRegistry:
+    def test_named_metrics_are_cached(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.histogram("h") is registry.histogram("h")
+        assert registry.timeseries("t") is registry.timeseries("t")
+        assert registry.gauge("g") is registry.gauge("g")
+
+    def test_snapshot_contains_all_sections(self):
+        registry = MetricsRegistry()
+        registry.counter("c").increment()
+        registry.gauge("g").set(2)
+        registry.histogram("h").observe(1.0)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {"c": 1.0}
+        assert snapshot["gauges"] == {"g": 2}
+        assert "h" in snapshot["histograms"]
+
+    def test_clock_is_used(self):
+        registry = MetricsRegistry(clock=lambda: 12.5)
+        assert registry.now == 12.5
