@@ -1,0 +1,53 @@
+"""Adversarial scenario sweep: throughput and safety under faults.
+
+Unlike the figure benchmarks (which reproduce the paper's numbers), this
+sweep runs the whole canned scenario library from ``repro.scenarios`` --
+leader crashes, partitions, drop storms, relay churn -- and reports, for
+each scenario, client throughput, fault counters and the verdict of the
+linearizability + log-invariant checkers.  It is the benchmark-shaped view
+of the safety suite in tests/test_scenarios.py: any future scale/speed PR
+can eyeball this table to see whether an optimization traded away
+correctness under adversity.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _common import comparison_table, report
+from repro.scenarios import all_scenarios, run_scenario
+
+
+def _run_library():
+    rows = []
+    for name in sorted(all_scenarios()):
+        result = run_scenario(all_scenarios()[name])
+        counters = result.counters()
+        throughput = result.completed_requests / result.scenario.duration
+        rows.append(
+            (
+                name,
+                result.scenario.protocol,
+                result.scenario.num_nodes,
+                f"{throughput:.0f}",
+                int(counters.get("faults.crashes", 0)),
+                int(counters.get("net.messages_dropped", 0)),
+                int(counters.get("pigpaxos.relay_timeouts", 0)),
+                "OK" if result.ok else f"{len(result.violations)} VIOLATIONS",
+            )
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="scenarios")
+def test_scenario_library_safety_sweep(benchmark):
+    rows = benchmark.pedantic(_run_library, rounds=1, iterations=1)
+
+    lines = comparison_table(
+        ["scenario", "protocol", "nodes", "ops/s", "crashes", "drops", "relay t/o", "checkers"],
+        rows,
+    )
+    report("scenario_safety_sweep", "Adversarial scenario sweep (safety checkers enabled)", lines)
+
+    verdicts = [row[-1] for row in rows]
+    assert all(verdict == "OK" for verdict in verdicts), verdicts

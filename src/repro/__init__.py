@@ -21,6 +21,10 @@ Demirbas, SIGMOD 2021).  It contains:
   (Tables 1 and 2, Section 6).
 * ``repro.runtime`` -- an asyncio TCP runtime running the same protocol
   classes over real sockets.
+* ``repro.scenarios`` / ``repro.checkers`` -- deterministic adversarial
+  scenario engine (declarative fault schedules compiled onto the
+  simulator) and post-hoc safety checkers (per-key linearizability of
+  recorded client histories, cross-replica log invariants).
 """
 
 from repro.version import __version__

@@ -1,0 +1,46 @@
+"""Post-hoc safety checkers for simulated consensus runs.
+
+The scenario engine (:mod:`repro.scenarios`) records every client
+operation into a :class:`~repro.checkers.history.HistoryRecorder` and,
+after the run, feeds the history and the cluster state to the checkers in
+this package:
+
+* :mod:`repro.checkers.linearizability` -- a WGL-style (Wing & Gong /
+  Lowe) search that decides whether the recorded invocation/response
+  history of the replicated KV store is linearizable, checked
+  independently per key.
+* :mod:`repro.checkers.invariants` -- log-level invariants that hold for
+  Paxos/PigPaxos regardless of schedule: a single value chosen per slot
+  across replicas, agreement on the gap-free committed prefix, execution
+  never running ahead of commitment, and quorum-size sanity.
+
+Checkers never mutate the cluster; each returns a list of
+:class:`~repro.checkers.invariants.Violation` records (empty means the
+run passed).  They are deliberately independent of the scenario engine so
+tests and benchmarks can also run them against hand-built clusters.
+"""
+
+from repro.checkers.history import History, HistoryRecorder, Operation
+from repro.checkers.invariants import (
+    Violation,
+    check_execution_frontier,
+    check_prefix_agreement,
+    check_quorum_sanity,
+    check_slot_agreement,
+    run_log_checks,
+)
+from repro.checkers.linearizability import LinearizabilityChecker, check_linearizability
+
+__all__ = [
+    "History",
+    "HistoryRecorder",
+    "Operation",
+    "Violation",
+    "check_execution_frontier",
+    "check_prefix_agreement",
+    "check_quorum_sanity",
+    "check_slot_agreement",
+    "run_log_checks",
+    "LinearizabilityChecker",
+    "check_linearizability",
+]

@@ -1,0 +1,175 @@
+"""Log-level safety invariants checked across replicas after a run.
+
+These invariants follow directly from the Paxos correctness argument that
+PigPaxos inherits (the paper's central claim): no schedule of crashes,
+partitions, drops or relay churn may ever
+
+* commit two different commands in the same slot on different replicas
+  (:func:`check_slot_agreement`),
+* let two replicas disagree on the common part of their gap-free committed
+  prefixes (:func:`check_prefix_agreement`),
+* execute a slot that is not part of a committed, gap-free prefix
+  (:func:`check_execution_frontier`), or
+* run with quorums that do not intersect (:func:`check_quorum_sanity`).
+
+Each check takes the :class:`~repro.cluster.builder.Cluster` post-run and
+returns a list of :class:`Violation` records; an empty list means the
+invariant held.  Replicas without a ``log`` attribute (EPaxos) are skipped
+by the log checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant violation found by a checker."""
+
+    checker: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.checker}] {self.message}"
+
+
+def _replica_logs(cluster) -> Dict[int, object]:
+    logs: Dict[int, object] = {}
+    for node_id, node in cluster.nodes.items():
+        log = getattr(node.replica, "log", None)
+        if log is not None:
+            logs[node_id] = log
+    return logs
+
+
+def check_slot_agreement(cluster) -> List[Violation]:
+    """At most one command may ever be committed per slot, cluster-wide."""
+    violations: List[Violation] = []
+    chosen: Dict[int, Tuple[int, Optional[int]]] = {}  # slot -> (node, uid)
+    for node_id, log in _replica_logs(cluster).items():
+        for entry in log.entries():
+            if not entry.committed:
+                continue
+            uid = getattr(entry.command, "uid", None)
+            previous = chosen.get(entry.slot)
+            if previous is None:
+                chosen[entry.slot] = (node_id, uid)
+            elif previous[1] != uid:
+                violations.append(
+                    Violation(
+                        checker="slot_agreement",
+                        message=(
+                            f"slot {entry.slot}: node {previous[0]} committed command "
+                            f"uid={previous[1]} but node {node_id} committed uid={uid}"
+                        ),
+                    )
+                )
+    return violations
+
+
+def check_prefix_agreement(cluster) -> List[Violation]:
+    """Every pair of replicas must agree on their common committed prefix."""
+    violations: List[Violation] = []
+    prefixes = cluster.committed_prefixes()
+    node_ids = sorted(prefixes)
+    for i, a_id in enumerate(node_ids):
+        for b_id in node_ids[i + 1:]:
+            a, b = prefixes[a_id], prefixes[b_id]
+            common = min(len(a), len(b))
+            for slot_index in range(common):
+                if a[slot_index] != b[slot_index]:
+                    violations.append(
+                        Violation(
+                            checker="prefix_agreement",
+                            message=(
+                                f"nodes {a_id} and {b_id} diverge at slot "
+                                f"{slot_index + 1}: uid {a[slot_index]} vs {b[slot_index]}"
+                            ),
+                        )
+                    )
+                    break
+    return violations
+
+
+def check_execution_frontier(cluster) -> List[Violation]:
+    """Execution must only ever cover a committed, gap-free prefix."""
+    violations: List[Violation] = []
+    for node_id, log in _replica_logs(cluster).items():
+        for slot in range(1, log.next_execute_slot):
+            if not log.is_committed(slot):
+                violations.append(
+                    Violation(
+                        checker="execution_frontier",
+                        message=(
+                            f"node {node_id} executed through slot "
+                            f"{log.next_execute_slot - 1} but slot {slot} is not committed"
+                        ),
+                    )
+                )
+                break
+        replica = cluster.nodes[node_id].replica
+        commit_upto = getattr(replica, "commit_upto", None)
+        if commit_upto is not None:
+            for slot in range(1, commit_upto + 1):
+                if not log.is_committed(slot):
+                    violations.append(
+                        Violation(
+                            checker="execution_frontier",
+                            message=(
+                                f"node {node_id} advertises commit_upto={commit_upto} "
+                                f"but slot {slot} is not committed locally"
+                            ),
+                        )
+                    )
+                    break
+    return violations
+
+
+def check_quorum_sanity(cluster) -> List[Violation]:
+    """Phase-1 and phase-2 quorums must intersect (q1 + q2 > n)."""
+    violations: List[Violation] = []
+    cluster_size = len(cluster.nodes)
+    for node_id, node in cluster.nodes.items():
+        quorum = getattr(node.replica, "quorum", None)
+        if quorum is None:
+            continue
+        if quorum.n != cluster_size:
+            violations.append(
+                Violation(
+                    checker="quorum_sanity",
+                    message=(
+                        f"node {node_id} sizes quorums for n={quorum.n} "
+                        f"but the cluster has {cluster_size} nodes"
+                    ),
+                )
+            )
+        if quorum.phase1_size + quorum.phase2_size <= quorum.n:
+            violations.append(
+                Violation(
+                    checker="quorum_sanity",
+                    message=(
+                        f"node {node_id} quorums do not intersect: "
+                        f"q1={quorum.phase1_size} + q2={quorum.phase2_size} <= n={quorum.n}"
+                    ),
+                )
+            )
+    return violations
+
+
+#: All log/cluster checks, in the order the scenario runner applies them.
+LOG_CHECKS = (
+    check_slot_agreement,
+    check_prefix_agreement,
+    check_execution_frontier,
+    check_quorum_sanity,
+)
+
+
+def run_log_checks(cluster) -> List[Violation]:
+    """Run every log/cluster invariant check and concatenate the violations."""
+    violations: List[Violation] = []
+    for check in LOG_CHECKS:
+        violations.extend(check(cluster))
+    return violations

@@ -1,0 +1,177 @@
+"""WGL-style linearizability checking of recorded KV histories.
+
+The checker decides whether a recorded invocation/response history could
+have been produced by a single atomic register per key.  It implements the
+Wing & Gong / Lowe search: repeatedly pick a *minimal* operation (one not
+real-time-preceded by any other unlinearized operation), apply it to the
+model register, and backtrack on mismatch.  Visited ``(linearized-set,
+register-state)`` pairs are memoized, which keeps the search polynomial in
+practice for the low-concurrency histories closed-loop clients generate.
+
+Two properties of the recorded histories are exploited:
+
+* Keys are independent, so the history is checked per key
+  (:meth:`repro.checkers.history.History.per_key`); a violation on any key
+  is a violation of the whole store.
+* Pending operations (invoked, never completed) may have taken effect at
+  any point after their invocation -- or never.  The search therefore
+  succeeds as soon as every *completed* operation is linearized.
+
+Precedence combines real time with per-client program order: operation A
+precedes B when A's response strictly precedes B's invocation, or when the
+same closed-loop client issued A before B (response and next invocation
+share a timestamp in the simulator, so strict real-time comparison alone
+would lose program order).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.checkers.history import History, Operation
+from repro.checkers.invariants import Violation
+
+#: Register value meaning "key absent".
+_ABSENT = None
+
+
+@dataclass
+class _Model:
+    """Per-key sub-history compiled for the search."""
+
+    ops: List[Operation]
+    preds: List[int]          # bitmask of operations preceding op i
+    completed_mask: int       # bits of operations that completed
+
+
+def _compile(ops: List[Operation]) -> _Model:
+    """Precompute precedence bitmasks for one key's operations."""
+    indexed = sorted(ops, key=lambda op: (op.invoked_at, op.client_id, op.request_id))
+    n = len(indexed)
+    preds = [0] * n
+    completed_mask = 0
+
+    # Real-time precedence: sweep invocations in order, accumulating the
+    # bitmask of operations whose response strictly precedes the invocation.
+    returns = sorted(
+        ((op.completed_at, i) for i, op in enumerate(indexed) if op.completed_at is not None),
+        key=lambda pair: pair[0],
+    )
+    returned_mask = 0
+    pointer = 0
+    for i, op in enumerate(indexed):
+        while pointer < len(returns) and returns[pointer][0] < op.invoked_at:
+            returned_mask |= 1 << returns[pointer][1]
+            pointer += 1
+        preds[i] = returned_mask
+        if op.completed_at is not None:
+            completed_mask |= 1 << i
+
+    # Program order: a client's previous completed operation precedes its
+    # next one even when the timestamps coincide (closed-loop clients issue
+    # the next request in the same simulator event as the reply).
+    last_by_client: Dict[int, int] = {}
+    for i, op in enumerate(indexed):
+        prev = last_by_client.get(op.client_id)
+        if prev is not None:
+            prev_op = indexed[prev]
+            if prev_op.completed_at is not None and prev_op.completed_at <= op.invoked_at:
+                preds[i] |= 1 << prev
+        last_by_client[op.client_id] = i
+
+    return _Model(ops=indexed, preds=preds, completed_mask=completed_mask)
+
+
+def _apply(op: Operation, value: Optional[str]) -> Tuple[bool, Optional[str]]:
+    """Apply ``op`` to the model register; returns (consistent, new_value)."""
+    if op.op == "put":
+        return True, op.value
+    if op.op == "delete":
+        return True, _ABSENT
+    # GET: pending reads have no observable output and are skipped by the
+    # caller; completed reads must have observed the current register value.
+    return op.output == value, value
+
+
+def _search(model: _Model, max_states: int) -> Tuple[bool, Optional[str]]:
+    """Run the WGL search; returns (linearizable, failure_detail)."""
+    n = len(model.ops)
+    if n == 0:
+        return True, None
+    target = model.completed_mask
+    seen = set()
+    # Each stack frame: (linearized_mask, register_value, next_candidate)
+    stack: List[List] = [[0, _ABSENT, 0]]
+    states = 0
+    deepest = 0
+    while stack:
+        frame = stack[-1]
+        mask, value, candidate = frame
+        if mask & target == target:
+            return True, None
+        if candidate >= n:
+            stack.pop()
+            continue
+        frame[2] = candidate + 1
+        bit = 1 << candidate
+        if mask & bit:
+            continue
+        if model.preds[candidate] & ~mask:
+            continue  # some predecessor not linearized yet
+        op = model.ops[candidate]
+        if op.pending and op.op == "get":
+            continue  # a read that never returned has no effect
+        ok, new_value = _apply(op, value)
+        if not ok:
+            deepest = max(deepest, bin(mask).count("1"))
+            continue
+        state = (mask | bit, new_value)
+        if state in seen:
+            continue
+        seen.add(state)
+        states += 1
+        if states > max_states:
+            return False, (
+                f"search aborted after {max_states} states "
+                f"(history too concurrent to decide)"
+            )
+        stack.append([mask | bit, new_value, 0])
+
+    detail = (
+        f"no linearization order exists ({n} ops, "
+        f"{bin(target).count('1')} completed, stuck after {deepest} ops)"
+    )
+    return False, detail
+
+
+class LinearizabilityChecker:
+    """Checks that the recorded KV history is linearizable, key by key."""
+
+    name = "linearizability"
+
+    def __init__(self, max_states_per_key: int = 2_000_000) -> None:
+        self._max_states = max_states_per_key
+
+    def check(self, history: History) -> List[Violation]:
+        violations: List[Violation] = []
+        for key, ops in sorted(history.per_key().items()):
+            model = _compile(ops)
+            ok, detail = _search(model, self._max_states)
+            if not ok:
+                completed = [op for op in model.ops if not op.pending]
+                violations.append(
+                    Violation(
+                        checker=self.name,
+                        message=(
+                            f"history of key {key!r} is not linearizable: {detail}; "
+                            f"{len(completed)} completed / {len(model.ops)} total ops"
+                        ),
+                    )
+                )
+        return violations
+
+
+def check_linearizability(history: History, max_states_per_key: int = 2_000_000) -> List[Violation]:
+    """Convenience wrapper used by the scenario runner and tests."""
+    return LinearizabilityChecker(max_states_per_key).check(history)

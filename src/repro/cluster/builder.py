@@ -47,6 +47,7 @@ class Cluster:
         nodes: Dict[int, SimNode],
         clients: List[ClosedLoopClient],
         fault_schedule: Optional[FaultSchedule] = None,
+        history_recorder=None,
     ) -> None:
         self.protocol = protocol
         self.sim = sim
@@ -55,6 +56,7 @@ class Cluster:
         self.nodes = nodes
         self.clients = clients
         self.fault_schedule = fault_schedule
+        self.history_recorder = history_recorder
         self._started = False
 
     # ------------------------------------------------------------------ running
@@ -77,9 +79,14 @@ class Cluster:
 
     def _arm_faults(self, schedule: FaultSchedule) -> None:
         for event in schedule:
-            self.sim.schedule_at(event.at, self._apply_fault, event)
+            self.sim.schedule_at(event.at, self.apply_fault, event)
 
-    def _apply_fault(self, event) -> None:
+    def apply_fault(self, event) -> None:
+        """Apply one :class:`~repro.cluster.faults.FaultEvent` right now.
+
+        The single dispatch point for scripted faults; the scenario engine
+        routes its static events through here too.
+        """
         if event.kind is FaultKind.CRASH:
             self.nodes[event.node].crash()
         elif event.kind is FaultKind.RECOVER:
@@ -121,14 +128,9 @@ class Cluster:
 
     def logs_agree(self) -> bool:
         """True when every pair of replicas agrees on the common committed prefix."""
-        prefixes = list(self.committed_prefixes().values())
-        for i in range(len(prefixes)):
-            for j in range(i + 1, len(prefixes)):
-                a, b = prefixes[i], prefixes[j]
-                common = min(len(a), len(b))
-                if a[:common] != b[:common]:
-                    return False
-        return True
+        from repro.checkers.invariants import check_prefix_agreement
+
+        return not check_prefix_agreement(self)
 
     def total_completed_requests(self) -> int:
         return sum(client.stats.received for client in self.clients)
@@ -166,10 +168,12 @@ class ClusterBuilder:
     _workload: WorkloadSpec = field(default_factory=WorkloadSpec.paper_default)
     _fault_schedule: Optional[FaultSchedule] = None
     _client_start_time: float = 0.05
+    _client_timeout: float = 2.0
     _num_relay_groups: Optional[int] = None
     _use_region_groups: bool = False
     _drop_probability: float = 0.0
     _size_model: SizeModel = field(default_factory=SizeModel)
+    _history_recorder: Optional[object] = None
 
     # ------------------------------------------------------------------ fluent setters
     def protocol(self, name: str) -> "ClusterBuilder":
@@ -228,6 +232,16 @@ class ClusterBuilder:
         self._client_start_time = start_time
         return self
 
+    def history_recorder(self, recorder) -> "ClusterBuilder":
+        """Record every client operation into ``recorder`` (see repro.checkers)."""
+        self._history_recorder = recorder
+        return self
+
+    def client_timeout(self, timeout: float) -> "ClusterBuilder":
+        """Client request timeout before re-sending to a rotated target."""
+        self._client_timeout = timeout
+        return self
+
     # ------------------------------------------------------------------ build
     def build(self) -> Cluster:
         topology = self._topology or lan_topology(self._num_nodes)
@@ -261,7 +275,9 @@ class ClusterBuilder:
                 spec=self._workload,
                 targets=list(topology.node_ids),
                 target_policy=target_policy,
+                request_timeout=self._client_timeout,
                 start_time=self._client_start_time,
+                recorder=self._history_recorder,
             )
             clients.append(client)
 
@@ -273,6 +289,7 @@ class ClusterBuilder:
             nodes=nodes,
             clients=clients,
             fault_schedule=self._fault_schedule,
+            history_recorder=self._history_recorder,
         )
 
     def _make_replica(self, topology: Topology):

@@ -49,6 +49,7 @@ class _AggregationSession:
     expected_children: int
     responses: List[Message] = field(default_factory=list)
     children_heard: int = 0
+    children_seen: set = field(default_factory=set)
     threshold: Optional[int] = None
     timer: Optional[TimerLike] = None
     flushed: bool = False
@@ -72,6 +73,12 @@ class PigPaxosReplica(MultiPaxosReplica):
         self._plan_leader: Optional[int] = None
         self._sessions: Dict[int, _AggregationSession] = {}
         self._agg_counter = 0
+        # Parents of recently flushed sessions, so late child responses can
+        # still be forwarded towards the leader instead of being dropped.
+        self._flushed_parents: Dict[int, int] = {}
+
+    #: How many flushed sessions to remember for late-response forwarding.
+    _FLUSHED_SESSION_MEMORY = 256
 
     # ------------------------------------------------------------------ groups
     def relay_group_plan(self) -> RelayGroupPlan:
@@ -229,7 +236,13 @@ class PigPaxosReplica(MultiPaxosReplica):
     def _on_aggregate(self, src: int, msg: PigAggregate) -> None:
         session = self._sessions.get(msg.agg_id)
         if session is not None and not session.flushed:
-            session.children_heard += 1
+            # Count distinct children only: a child relay that flushed early
+            # may send a second aggregate when its own stragglers arrive, and
+            # double-counting it would flush this session "complete" while a
+            # different child never reported.
+            if msg.origin not in session.children_seen:
+                session.children_seen.add(msg.origin)
+                session.children_heard += 1
             session.responses.extend(msg.responses)
             done = session.children_heard >= session.expected_children
             early = session.threshold is not None and session.children_heard >= session.threshold
@@ -237,11 +250,32 @@ class PigPaxosReplica(MultiPaxosReplica):
                 self._flush_session(session, complete=done)
             return
 
+        parent = self._flushed_parents.get(msg.agg_id)
+        if parent is not None:
+            # Late child responses for a session this relay already flushed
+            # (timeout or early threshold).  The leader may still need these
+            # votes to reach quorum, so forward them up the tree rather than
+            # swallowing them; duplicates are idempotent at the leader.
+            if msg.responses:
+                self.count("late_responses_forwarded")
+                self.send(
+                    parent,
+                    PigAggregate(
+                        agg_id=msg.agg_id,
+                        responses=msg.responses,
+                        origin=self.node_id,
+                        complete=False,
+                    ),
+                )
+            else:
+                self.count("late_aggregates_dropped")
+            return
+
         if msg.responses:
-            # No open session for this id: we are the top of the tree (the
-            # leader, or a phase-1 candidate that is not leader yet).  Unwrap
-            # and feed each vote into ordinary handling; stale votes are
-            # ignored there, so stragglers from flushed sessions are harmless.
+            # No session was ever open for this id: we are the top of the
+            # tree (the leader, or a phase-1 candidate that is not leader
+            # yet).  Unwrap and feed each vote into ordinary handling; stale
+            # votes are ignored there.
             for response in msg.responses:
                 super().on_message(src, response)
         else:
@@ -259,6 +293,9 @@ class PigPaxosReplica(MultiPaxosReplica):
         if session.timer is not None:
             session.timer.cancel()
         self._sessions.pop(session.agg_id, None)
+        self._flushed_parents[session.agg_id] = session.parent
+        while len(self._flushed_parents) > self._FLUSHED_SESSION_MEMORY:
+            self._flushed_parents.pop(next(iter(self._flushed_parents)))
         aggregate = PigAggregate(
             agg_id=session.agg_id,
             responses=tuple(session.responses),
@@ -274,6 +311,7 @@ class PigPaxosReplica(MultiPaxosReplica):
             if session.timer is not None:
                 session.timer.cancel()
         self._sessions.clear()
+        self._flushed_parents.clear()
 
     # ------------------------------------------------------------------ introspection
     def status(self) -> Dict[str, object]:

@@ -67,6 +67,10 @@ class MultiPaxosReplica(Replica):
         self.promised: Ballot = Ballot.zero()
         self.log = ReplicatedLog()
         self.store = KVStore()
+        # Client sessions: applied request ids (with results) per client,
+        # used to make command execution at-most-once (see
+        # :meth:`_apply_command`).  Survives crashes alongside log/store.
+        self._applied_sessions: Dict[int, Dict[int, object]] = {}
 
         # Proposer / leader state.
         self.ballot: Ballot = Ballot.zero()
@@ -141,7 +145,7 @@ class MultiPaxosReplica(Replica):
         self.promised = self.ballot
         self.count("phase1_started")
         tracker = BallotVoteTracker(self.quorum.phase1_size)
-        tracker.ack(self.node_id, self._accepted_entries())
+        tracker.ack(self.node_id, self._accepted_entries(), self.commit_upto)
         self._phase1_tracker = tracker
         if tracker.satisfied:  # single-node cluster
             self._become_leader()
@@ -176,7 +180,7 @@ class MultiPaxosReplica(Replica):
             self.promised = msg.ballot
             self._observe_leader(msg.ballot)
             return P1b(ballot=msg.ballot, voter=self.node_id, ok=True,
-                       accepted=self._accepted_entries())
+                       accepted=self._accepted_entries(), commit_upto=self.commit_upto)
         return P1b(ballot=self.promised, voter=self.node_id, ok=False)
 
     def _on_p1a(self, src: int, msg: P1a) -> None:
@@ -186,7 +190,7 @@ class MultiPaxosReplica(Replica):
         if self.is_leader or self._phase1_tracker is None:
             return
         if msg.ok and msg.ballot == self.ballot:
-            if self._phase1_tracker.ack(msg.voter, msg.accepted):
+            if self._phase1_tracker.ack(msg.voter, msg.accepted, msg.commit_upto):
                 self._become_leader()
         elif not msg.ok and msg.ballot > self.ballot:
             # Someone promised a higher ballot; adopt it and back off.
@@ -203,23 +207,74 @@ class MultiPaxosReplica(Replica):
         self.leader_id = self.node_id
         self.count("became_leader")
 
-        # Re-propose every command reported by the promise quorum, fill gaps with no-ops.
+        # Re-propose every command reported by the promise quorum, fill gaps
+        # with no-ops.  Slots at or below the quorum's committed frontier are
+        # already decided somewhere; re-proposing the quorum's highest-ballot
+        # accepted command there is still safe (classic synod recovery -- for
+        # a committed slot that command necessarily equals the chosen one),
+        # but a slot whose entry was executed (and therefore pruned from
+        # every promise) must not be filled with a fresh no-op: it is fetched
+        # from the reporting voters instead.
         to_repropose = tracker.commands_to_repropose() if tracker else {}
-        highest = max(list(to_repropose) + [self.log.max_slot, self.commit_upto, 0])
+        quorum_commit_upto = tracker.max_commit_upto if tracker else 0
+        highest = max(list(to_repropose) + [self.log.max_slot, self.commit_upto, quorum_commit_upto, 0])
         self.next_slot = highest + 1
         for slot in range(self.commit_upto + 1, self.next_slot):
             if self.log.is_committed(slot):
                 continue
             command = to_repropose.get(slot)
             if command is None:
+                if slot <= quorum_commit_upto:
+                    continue  # pruned/executed elsewhere: fetch, don't overwrite
                 existing = self.log.get(slot)
                 command = existing.command if existing is not None else NoOp()
             self._propose_in_slot(slot, command, client_id=None, request_id=0)
+        if quorum_commit_upto > self.commit_upto and tracker:
+            self._fetch_committed_slots(tracker.commit_reports(), quorum_commit_upto)
 
         for client_src, request in self._pending_requests:
             self._propose(request, client_src)
         self._pending_requests.clear()
         self._schedule_heartbeat()
+
+    def _fetch_committed_slots(self, commit_reports: Dict[int, int], upto: int) -> None:
+        """Ask promise voters for committed slots this new leader is missing.
+
+        Requests go to every voter whose reported frontier exceeds ours;
+        replies are idempotent (``log.commit`` tolerates duplicates of the
+        same command), so over-asking only costs messages.  A retry timer
+        re-requests (from every peer) until the gap closes: under message
+        loss a one-shot request could strand the leader behind a permanent
+        gap it will never propose into.
+        """
+        missing = tuple(
+            slot for slot in range(self.commit_upto + 1, upto + 1)
+            if not self.log.is_committed(slot)
+        )
+        if not missing:
+            return
+        self.count("leader_fill_requests")
+        for voter, reported in commit_reports.items():
+            if voter == self.node_id or reported <= self.commit_upto:
+                continue
+            wanted = tuple(slot for slot in missing if slot <= reported)
+            if wanted:
+                self.send(voter, FillRequest(slots=wanted, requester=self.node_id))
+        self.ctx.schedule(self.config.fill_gap_timeout, self._leader_fill_check, upto)
+
+    def _leader_fill_check(self, upto: int) -> None:
+        """Re-request committed slots still missing after recovery."""
+        if not self.is_leader or self.commit_upto >= upto:
+            return
+        missing = tuple(
+            slot for slot in range(self.commit_upto + 1, upto + 1)
+            if not self.log.is_committed(slot)
+        )
+        if missing:
+            self.count("leader_fill_retries")
+            for peer in self.peers:
+                self.send(peer, FillRequest(slots=missing, requester=self.node_id))
+        self.ctx.schedule(self.config.fill_gap_timeout, self._leader_fill_check, upto)
 
     # ------------------------------------------------------------------ client path
     def _on_client_request(self, src: int, msg: ClientRequest) -> None:
@@ -316,8 +371,40 @@ class MultiPaxosReplica(Replica):
             frontier += 1
         self.commit_upto = frontier
 
+    def _apply_command(self, command) -> object:
+        """Apply ``command`` with at-most-once client-session filtering.
+
+        The same client command can legitimately be *committed in two
+        different slots*: a client retries a timed-out request against a new
+        leader while the old leader's proposal survives in some follower's
+        log and is re-proposed during recovery.  Both slots must commit (a
+        committed slot can never change), but applying the command twice
+        would let the second application clobber writes ordered between the
+        two slots -- a linearizability violation the scenario checkers catch.
+        Every replica executes the same committed prefix, so filtering
+        duplicates here keeps all state machines identical.
+
+        Applied ids are tracked as a per-client set (not a high-water mark):
+        open-loop clients keep several requests in flight, so a client's
+        commands may commit out of request-id order and a mark would drop
+        legitimate first executions.  Bounding the per-client result cache
+        is an open roadmap item.
+        """
+        client_id = getattr(command, "client_id", -1)
+        request_id = getattr(command, "request_id", 0)
+        if client_id is None or client_id < 0 or request_id <= 0:
+            return self.store.apply(command)
+        session = self._applied_sessions.setdefault(client_id, {})
+        cached = session.get(request_id)
+        if cached is not None:
+            self.count("duplicate_commands_skipped")
+            return cached
+        result = self.store.apply(command)
+        session[request_id] = result
+        return result
+
     def _execute_ready(self) -> None:
-        executed = self.log.execute_ready(self.store.apply)
+        executed = self.log.execute_ready(self._apply_command)
         if not executed:
             return
         self.ctx.charge_execution(len(executed))

@@ -54,12 +54,19 @@ class P1a(Message):
 
 @dataclass(frozen=True)
 class P1b(Message):
-    """Phase-1b promise.  ``accepted`` maps slot -> (ballot, command)."""
+    """Phase-1b promise.  ``accepted`` maps slot -> (ballot, command).
+
+    ``commit_upto`` is the voter's gap-free committed frontier.  Executed
+    entries are pruned from ``accepted`` (they would grow without bound), so
+    the frontier is how a new leader learns that slots exist beyond its own
+    log and must be fetched -- not overwritten with fresh proposals.
+    """
 
     ballot: Ballot
     voter: int
     ok: bool
     accepted: Dict[int, Tuple[Ballot, object]] = field(default_factory=dict)
+    commit_upto: int = 0
 
     def payload_bytes(self) -> int:
         total = 0

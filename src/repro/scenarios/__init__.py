@@ -1,0 +1,42 @@
+"""Deterministic adversarial scenario engine.
+
+This package turns "as many scenarios as you can imagine" into a library:
+a :class:`~repro.scenarios.spec.Scenario` declaratively describes a
+cluster shape, workload, and a timed fault schedule (crashes, partitions,
+relay churn, drop storms); a
+:class:`~repro.scenarios.runner.ScenarioRunner` compiles it onto the
+discrete-event simulator, records every client operation, and applies the
+:mod:`repro.checkers` safety checkers post-hoc.  Everything is
+deterministic per seed -- the same scenario always produces byte-identical
+histories, which makes violations replayable and lets regression tests
+assert on exact fingerprints.
+
+Quick start::
+
+    from repro.scenarios import get_scenario, run_scenario
+
+    result = run_scenario(get_scenario("pig-crash-leader-during-round"))
+    result.raise_on_violations()
+    print(result.summary())
+
+Or from the command line::
+
+    PYTHONPATH=src python -m repro.scenarios --list
+    PYTHONPATH=src python -m repro.scenarios --run pig-baseline-5
+    PYTHONPATH=src python -m repro.scenarios --smoke
+"""
+
+from repro.scenarios.library import SMOKE_SCENARIOS, all_scenarios, get_scenario
+from repro.scenarios.runner import ScenarioResult, ScenarioRunner, run_scenario
+from repro.scenarios.spec import Scenario, ScenarioEvent
+
+__all__ = [
+    "SMOKE_SCENARIOS",
+    "Scenario",
+    "ScenarioEvent",
+    "ScenarioResult",
+    "ScenarioRunner",
+    "all_scenarios",
+    "get_scenario",
+    "run_scenario",
+]

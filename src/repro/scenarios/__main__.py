@@ -1,0 +1,71 @@
+"""Command-line front end for the scenario engine.
+
+Used by CI for smoke runs and by developers to replay a scenario::
+
+    PYTHONPATH=src python -m repro.scenarios --list
+    PYTHONPATH=src python -m repro.scenarios --run pig-baseline-5 [--seed 7]
+    PYTHONPATH=src python -m repro.scenarios --all
+    PYTHONPATH=src python -m repro.scenarios --smoke
+
+Exit status is non-zero when any checker reports a violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import replace
+
+from repro.scenarios.library import SMOKE_SCENARIOS, all_scenarios, get_scenario
+from repro.scenarios.runner import run_scenario
+
+
+def _run_one(scenario, verbose: bool = True) -> bool:
+    result = run_scenario(scenario)
+    print(result.summary())
+    if verbose and result.events_fired:
+        for line in result.events_fired:
+            print(f"    fault: {line}")
+    for violation in result.violations:
+        print(f"    {violation}")
+    return result.ok
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="repro.scenarios", description=__doc__)
+    group = parser.add_mutually_exclusive_group(required=True)
+    group.add_argument("--list", action="store_true", help="list canned scenarios")
+    group.add_argument("--run", metavar="NAME", help="run one canned scenario")
+    group.add_argument("--all", action="store_true", help="run every canned scenario")
+    group.add_argument("--smoke", action="store_true", help="run the CI smoke subset")
+    parser.add_argument("--seed", type=int, default=None, help="override the scenario seed")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name, scenario in sorted(all_scenarios().items()):
+            print(f"{name:36s} {scenario.description}")
+        return 0
+
+    if args.run:
+        try:
+            scenario = get_scenario(args.run)
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
+        if args.seed is not None:
+            scenario = replace(scenario, seed=args.seed)
+        return 0 if _run_one(scenario) else 1
+
+    names = SMOKE_SCENARIOS if args.smoke else sorted(all_scenarios())
+    ok = True
+    for name in names:
+        scenario = get_scenario(name)
+        if args.seed is not None:
+            scenario = replace(scenario, seed=args.seed)
+        ok = _run_one(scenario, verbose=False) and ok
+    print("ALL OK" if ok else "VIOLATIONS FOUND")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

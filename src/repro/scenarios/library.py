@@ -1,0 +1,186 @@
+"""The canned scenario library.
+
+Roughly ten ready-to-run adversarial scenarios spanning the paper's
+deployments (5/9/25-node LAN, three-region WAN) and the failure modes the
+relay/aggregate overlay must survive: leader crashes mid-round, relays
+crashing out from under an open round, majority/minority partitions,
+message-drop storms that force relay timeouts, and continuous relay-group
+churn.  Each scenario runs with the linearizability and log-invariant
+checkers enabled, so ``run_scenario(s).raise_on_violations()`` is a
+one-line whole-stack safety test.
+
+Both ``tests/test_scenarios.py`` and ``benchmarks/bench_scenarios.py``
+iterate this library; add new scenarios here and both pick them up.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.scenarios.spec import Scenario, ScenarioEvent as E
+
+
+def _scenarios() -> List[Scenario]:
+    return [
+        Scenario(
+            name="pig-baseline-5",
+            protocol="pigpaxos",
+            num_nodes=5,
+            relay_groups=2,
+            num_clients=4,
+            duration=1.5,
+            seed=11,
+            description="Fault-free 5-node PigPaxos, 2 relay groups (Fig. 10 shape).",
+        ),
+        Scenario(
+            name="paxos-baseline-5",
+            protocol="paxos",
+            num_nodes=5,
+            num_clients=4,
+            duration=1.5,
+            seed=11,
+            description="Fault-free 5-node Multi-Paxos control run.",
+        ),
+        Scenario(
+            name="pig-relay-sweep-25",
+            protocol="pigpaxos",
+            num_nodes=25,
+            relay_groups=3,
+            num_clients=6,
+            duration=0.8,
+            seed=7,
+            description="Paper-style 25-node cluster, 3 relay groups (Fig. 7/8 shape).",
+        ),
+        Scenario(
+            name="pig-wan-9",
+            protocol="pigpaxos",
+            num_nodes=9,
+            wan=True,
+            use_region_groups=True,
+            num_clients=6,
+            duration=2.5,
+            seed=3,
+            client_timeout=1.0,
+            description="Nine nodes over three WAN regions, one relay group per region (Fig. 9).",
+        ),
+        Scenario(
+            name="pig-crash-follower",
+            protocol="pigpaxos",
+            num_nodes=7,
+            relay_groups=2,
+            num_clients=4,
+            duration=2.0,
+            seed=5,
+            client_timeout=0.5,
+            events=(
+                E.crash(0.5, node=3),
+                E.recover(1.3, node=3),
+            ),
+            description="A follower (potential relay) crashes mid-run and recovers (Fig. 13 shape).",
+        ),
+        Scenario(
+            name="pig-crash-leader-during-round",
+            protocol="pigpaxos",
+            num_nodes=5,
+            relay_groups=2,
+            num_clients=4,
+            duration=3.0,
+            seed=13,
+            client_timeout=0.4,
+            events=(
+                E.crash_leader(0.6),
+                E.recover_all(2.0),
+            ),
+            description="The leader dies with rounds in flight; a new leader must take over safely.",
+        ),
+        Scenario(
+            name="pig-partition-minority",
+            protocol="pigpaxos",
+            num_nodes=5,
+            relay_groups=2,
+            num_clients=4,
+            duration=2.0,
+            seed=17,
+            client_timeout=0.5,
+            events=(
+                E.partition(0.5, (0, 1, 2), (3, 4)),
+                E.heal_partition(1.3),
+            ),
+            description="Two nodes are cut off; the majority keeps committing, then heals.",
+        ),
+        Scenario(
+            name="pig-partition-leader-minority",
+            protocol="pigpaxos",
+            num_nodes=5,
+            relay_groups=2,
+            num_clients=4,
+            duration=3.0,
+            seed=19,
+            client_timeout=0.4,
+            events=(
+                E.partition(0.5, (0, 1), (2, 3, 4)),
+                E.heal_partition(1.8),
+            ),
+            description="The leader is stranded in a minority; the majority elects around it.",
+        ),
+        Scenario(
+            name="pig-relay-timeout-storm",
+            protocol="pigpaxos",
+            num_nodes=9,
+            relay_groups=3,
+            num_clients=4,
+            duration=2.0,
+            seed=23,
+            client_timeout=0.5,
+            config_overrides={"relay_timeout": 0.02},
+            events=(
+                E.set_drop(0.4, probability=0.25),
+                E.set_drop(1.2, probability=0.0),
+            ),
+            description="A lossy window forces relay timeouts, partial aggregates and retries.",
+        ),
+        Scenario(
+            name="pig-relay-churn",
+            protocol="pigpaxos",
+            num_nodes=9,
+            relay_groups=3,
+            num_clients=4,
+            duration=1.8,
+            seed=29,
+            config_overrides={"group_response_threshold": 0.75},
+            events=tuple(
+                E.reshuffle_relays(round(0.2 * step, 3)) for step in range(1, 8)
+            ),
+            description="Continuous relay-group reshuffling with early threshold flushing (Sec. 4).",
+        ),
+        Scenario(
+            name="pig-lossy-background",
+            protocol="pigpaxos",
+            num_nodes=7,
+            relay_groups=2,
+            num_clients=4,
+            duration=2.0,
+            seed=31,
+            client_timeout=0.5,
+            drop_probability=0.05,
+            description="Every message faces 5% loss for the whole run.",
+        ),
+    ]
+
+
+def all_scenarios() -> Dict[str, Scenario]:
+    """Name -> scenario for every canned scenario."""
+    scenarios = _scenarios()
+    return {scenario.name: scenario for scenario in scenarios}
+
+
+def get_scenario(name: str) -> Scenario:
+    scenarios = all_scenarios()
+    if name not in scenarios:
+        known = ", ".join(sorted(scenarios))
+        raise KeyError(f"unknown scenario {name!r}; known: {known}")
+    return scenarios[name]
+
+
+#: A small subset used by CI smoke runs and quick local checks.
+SMOKE_SCENARIOS = ("pig-baseline-5", "pig-crash-follower")

@@ -1,0 +1,229 @@
+"""Compiles a :class:`~repro.scenarios.spec.Scenario` onto the simulator.
+
+``ScenarioRunner`` is the bridge between the declarative spec layer and the
+concrete stack: it builds the topology, protocol config, cluster, clients
+and history recorder, arms the timed event schedule, runs the simulation,
+and applies the requested checkers post-hoc.  The returned
+:class:`ScenarioResult` bundles everything a test or benchmark needs: the
+cluster (for poking at replica state), the recorded history, the violations
+found, throughput stats and a determinism fingerprint.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.checkers.history import History, HistoryRecorder
+from repro.checkers.invariants import Violation, run_log_checks
+from repro.checkers.linearizability import check_linearizability
+from repro.cluster.builder import Cluster, ClusterBuilder
+from repro.cluster.faults import FaultEvent, FaultKind
+from repro.cluster.topologies import wan_topology
+from repro.core.config import PigPaxosConfig
+from repro.errors import ConfigurationError, ReproError
+from repro.protocol.config import ProtocolConfig
+from repro.scenarios.spec import Scenario, ScenarioEvent
+
+
+@dataclass
+class ScenarioResult:
+    """Everything produced by one scenario run."""
+
+    scenario: Scenario
+    cluster: Cluster
+    history: History
+    violations: List[Violation]
+    completed_requests: int
+    events_processed: int
+    virtual_duration: float
+    events_fired: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when every enabled checker passed."""
+        return not self.violations
+
+    def fingerprint(self) -> str:
+        """Stable digest of the run; identical for identical (spec, seed)."""
+        digest = hashlib.sha256()
+        digest.update(self.history.fingerprint().encode("utf-8"))
+        digest.update(
+            f"|completed={self.completed_requests}"
+            f"|events={self.events_processed}"
+            f"|now={self.virtual_duration:.9f}".encode("utf-8")
+        )
+        return digest.hexdigest()
+
+    def counters(self) -> Dict[str, float]:
+        return self.cluster.sim.metrics.counters()
+
+    def raise_on_violations(self, max_listed: int = 20) -> None:
+        if self.violations:
+            listed = self.violations[:max_listed]
+            details = "\n".join(str(v) for v in listed)
+            if len(self.violations) > max_listed:
+                details += f"\n... and {len(self.violations) - max_listed} more"
+            raise AssertionError(
+                f"scenario {self.scenario.name!r} violated "
+                f"{len(self.violations)} invariant(s):\n{details}"
+            )
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else f"{len(self.violations)} VIOLATION(S)"
+        return (
+            f"{self.scenario.name}: {status}, "
+            f"{self.completed_requests} ops completed, "
+            f"{len(self.history)} recorded, "
+            f"{self.events_processed} sim events, "
+            f"{len(self.events_fired)} faults fired"
+        )
+
+
+class ScenarioRunner:
+    """Builds, runs and checks one scenario."""
+
+    def __init__(self, scenario: Scenario) -> None:
+        self.scenario = scenario
+        self._recorder = HistoryRecorder()
+
+    # ------------------------------------------------------------------ build
+    def build(self) -> Cluster:
+        """Compile the spec into a ready-to-run cluster (without running)."""
+        scenario = self.scenario
+        builder = (
+            ClusterBuilder()
+            .protocol(scenario.protocol)
+            .nodes(scenario.num_nodes)
+            .clients(scenario.num_clients)
+            .seed(scenario.seed)
+            .workload(scenario.workload)
+            .client_timeout(scenario.client_timeout)
+            .history_recorder(self._recorder)
+        )
+        if scenario.wan:
+            builder.topology(wan_topology(num_nodes=scenario.num_nodes))
+        if scenario.relay_groups is not None:
+            builder.relay_groups(scenario.relay_groups)
+        if scenario.use_region_groups:
+            builder.region_relay_groups(True)
+        if scenario.drop_probability > 0.0:
+            builder.message_drop_probability(scenario.drop_probability)
+        config = self._protocol_config()
+        if config is not None:
+            builder.protocol_config(config)
+        return builder.build()
+
+    def _protocol_config(self) -> Optional[ProtocolConfig]:
+        overrides = dict(self.scenario.config_overrides or {})
+        if self.scenario.protocol == "pigpaxos":
+            return PigPaxosConfig(**overrides)
+        if self.scenario.protocol == "paxos":
+            return ProtocolConfig(**overrides)
+        if overrides:
+            raise ConfigurationError(
+                f"protocol {self.scenario.protocol!r} takes no config overrides"
+            )
+        return None
+
+    # ------------------------------------------------------------------ run
+    def run(self) -> ScenarioResult:
+        cluster = self.build()
+        events_fired: List[str] = []
+        cluster.start()
+        for event in self.scenario.events:
+            cluster.sim.schedule_at(event.at, self._fire, cluster, event, events_fired)
+        violations: List[Violation] = []
+        try:
+            cluster.sim.run(until=self.scenario.duration)
+        except ReproError as exc:
+            # A broken protocol can trip the stack's own safety guards (e.g.
+            # "overwrite committed slot") before the post-hoc checkers see
+            # the state.  Report it as a violation and still check whatever
+            # partial state exists -- mutation tests rely on this.
+            violations.append(
+                Violation(
+                    checker="runtime",
+                    message=f"simulation aborted: {type(exc).__name__}: {exc}",
+                )
+            )
+
+        history = self._recorder.history()
+        if "log_invariants" in self.scenario.checks:
+            violations.extend(run_log_checks(cluster))
+        if "linearizability" in self.scenario.checks:
+            violations.extend(check_linearizability(history))
+
+        return ScenarioResult(
+            scenario=self.scenario,
+            cluster=cluster,
+            history=history,
+            violations=violations,
+            completed_requests=cluster.total_completed_requests(),
+            events_processed=cluster.sim.events_processed,
+            virtual_duration=cluster.sim.now,
+            events_fired=events_fired,
+        )
+
+    # ------------------------------------------------------------------ events
+    #: Static actions map 1:1 onto the cluster's own fault dispatcher.
+    _STATIC_FAULT_KINDS = {
+        "crash": FaultKind.CRASH,
+        "recover": FaultKind.RECOVER,
+        "sluggish": FaultKind.SLUGGISH,
+        "sever_link": FaultKind.SEVER_LINK,
+        "heal_link": FaultKind.HEAL_LINK,
+        "partition": FaultKind.PARTITION,
+        "heal_partition": FaultKind.HEAL_PARTITION,
+    }
+
+    def _fire(self, cluster: Cluster, event: ScenarioEvent, fired: List[str]) -> None:
+        """Apply one scheduled event, resolving dynamic targets now.
+
+        Static faults are translated to :class:`FaultEvent` and routed
+        through :meth:`Cluster.apply_fault` so there is exactly one fault
+        dispatch path; only the dynamic actions live here.
+        """
+        action = event.action
+        label = f"t={event.at:.3f} {action}"
+        kind = self._STATIC_FAULT_KINDS.get(action)
+        if kind is not None:
+            cluster.apply_fault(
+                FaultEvent(
+                    at=event.at,
+                    kind=kind,
+                    node=event.node,
+                    peer=event.peer,
+                    factor=event.factor,
+                    groups=event.groups,
+                )
+            )
+        elif action == "crash_leader":
+            leader = cluster.leader_id()
+            if leader is None:
+                fired.append(f"{label} (no leader)")
+                return
+            cluster.crash_node(leader)
+            label = f"{label} (node {leader})"
+        elif action == "recover_all":
+            for node_id, node in cluster.nodes.items():
+                if node.crashed:
+                    cluster.recover_node(node_id)
+        elif action == "reshuffle_relays":
+            for node in cluster.nodes.values():
+                replica = node.replica
+                if (
+                    not node.crashed
+                    and getattr(replica, "is_leader", False)
+                    and hasattr(replica, "reshuffle_groups")
+                ):
+                    replica.reshuffle_groups()
+        elif action == "set_drop":
+            cluster.network.faults.drop_probability = event.probability
+        fired.append(label)
+
+
+def run_scenario(scenario: Scenario) -> ScenarioResult:
+    """One-call convenience wrapper."""
+    return ScenarioRunner(scenario).run()

@@ -1,0 +1,203 @@
+"""Declarative scenario specifications.
+
+A :class:`Scenario` describes one complete adversarial experiment without
+touching any simulator machinery: the cluster shape (protocol, node count,
+LAN/WAN topology, relay-group layout), the workload mix, how long to run,
+and a timed schedule of :class:`ScenarioEvent` faults.  The
+:class:`~repro.scenarios.runner.ScenarioRunner` compiles a spec onto the
+existing :class:`~repro.sim.engine.Simulator` /
+:class:`~repro.cluster.builder.ClusterBuilder` stack and runs the safety
+checkers afterwards.
+
+Events come in two flavours:
+
+* **static** -- the target node is named in the spec (``crash``,
+  ``recover``, ``partition``, ``sever_link`` ...), and
+* **dynamic** -- the target is resolved when the event fires
+  (``crash_leader`` crashes whoever leads at that instant,
+  ``reshuffle_relays`` reshuffles the current leader's relay groups,
+  ``set_drop`` rewrites the network's drop probability mid-run).
+
+Dynamic events are what make adversarial schedules portable across seeds:
+"crash the leader during a round" works no matter which node won the
+election.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.workload.spec import WorkloadSpec
+
+#: Every event action the runner knows how to fire.
+EVENT_ACTIONS = (
+    "crash",
+    "recover",
+    "crash_leader",
+    "recover_all",
+    "partition",
+    "heal_partition",
+    "sever_link",
+    "heal_link",
+    "sluggish",
+    "reshuffle_relays",
+    "set_drop",
+)
+
+#: Checker names accepted by ``Scenario.checks``.
+CHECK_NAMES = ("linearizability", "log_invariants")
+
+
+@dataclass(frozen=True)
+class ScenarioEvent:
+    """One timed fault/chaos action within a scenario."""
+
+    at: float
+    action: str
+    node: Optional[int] = None
+    peer: Optional[int] = None
+    factor: float = 1.0
+    probability: float = 0.0
+    groups: Tuple[Tuple[int, ...], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ConfigurationError("event time must be non-negative")
+        if self.action not in EVENT_ACTIONS:
+            raise ConfigurationError(
+                f"unknown scenario action {self.action!r}; expected one of {EVENT_ACTIONS}"
+            )
+        if self.action in ("crash", "recover", "sluggish") and self.node is None:
+            raise ConfigurationError(f"action {self.action!r} needs a node")
+        if self.action in ("sever_link", "heal_link") and (self.node is None or self.peer is None):
+            raise ConfigurationError(f"action {self.action!r} needs node and peer")
+        if self.action == "partition" and not self.groups:
+            raise ConfigurationError("partition needs at least one group")
+        if self.action == "set_drop" and not 0.0 <= self.probability < 1.0:
+            # Same invariant the NetworkFaults constructor enforces; the
+            # runner assigns the live fault object directly.
+            raise ConfigurationError("set_drop probability must be in [0, 1)")
+        if self.action == "sluggish" and self.factor <= 0:
+            raise ConfigurationError("sluggish factor must be positive")
+
+    # ------------------------------------------------------------- factories
+    @staticmethod
+    def crash(at: float, node: int) -> "ScenarioEvent":
+        return ScenarioEvent(at=at, action="crash", node=node)
+
+    @staticmethod
+    def recover(at: float, node: int) -> "ScenarioEvent":
+        return ScenarioEvent(at=at, action="recover", node=node)
+
+    @staticmethod
+    def crash_leader(at: float) -> "ScenarioEvent":
+        """Crash whichever node is leader when the event fires."""
+        return ScenarioEvent(at=at, action="crash_leader")
+
+    @staticmethod
+    def recover_all(at: float) -> "ScenarioEvent":
+        """Recover every node that is crashed when the event fires."""
+        return ScenarioEvent(at=at, action="recover_all")
+
+    @staticmethod
+    def partition(at: float, *groups: Sequence[int]) -> "ScenarioEvent":
+        return ScenarioEvent(
+            at=at, action="partition", groups=tuple(tuple(group) for group in groups)
+        )
+
+    @staticmethod
+    def heal_partition(at: float) -> "ScenarioEvent":
+        return ScenarioEvent(at=at, action="heal_partition")
+
+    @staticmethod
+    def sever_link(at: float, a: int, b: int) -> "ScenarioEvent":
+        return ScenarioEvent(at=at, action="sever_link", node=a, peer=b)
+
+    @staticmethod
+    def heal_link(at: float, a: int, b: int) -> "ScenarioEvent":
+        return ScenarioEvent(at=at, action="heal_link", node=a, peer=b)
+
+    @staticmethod
+    def sluggish(at: float, node: int, factor: float) -> "ScenarioEvent":
+        return ScenarioEvent(at=at, action="sluggish", node=node, factor=factor)
+
+    @staticmethod
+    def reshuffle_relays(at: float) -> "ScenarioEvent":
+        """Reshuffle the current leader's relay groups (relay churn)."""
+        return ScenarioEvent(at=at, action="reshuffle_relays")
+
+    @staticmethod
+    def set_drop(at: float, probability: float) -> "ScenarioEvent":
+        """Rewrite the network-wide message drop probability."""
+        return ScenarioEvent(at=at, action="set_drop", probability=probability)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A complete, declarative description of one adversarial run.
+
+    Attributes:
+        name: Unique scenario name (library key, CLI argument).
+        protocol: "paxos", "pigpaxos" or "epaxos".
+        num_nodes: Cluster size.
+        num_clients: Closed-loop clients driving the workload.
+        duration: Virtual seconds to run.
+        seed: Master seed; two runs of the same scenario+seed are
+            bit-for-bit identical (histories, metrics, everything).
+        relay_groups: PigPaxos relay-group count (None = protocol default).
+        wan: Use the paper's three-region WAN topology instead of a LAN.
+        use_region_groups: Align relay groups with WAN regions.
+        workload: Client workload; defaults to the contended, identifiable
+            ``WorkloadSpec.checking_default()`` the checkers need.
+        client_timeout: Client request timeout before rotating targets;
+            fault scenarios lower it so clients re-find the leader within
+            the scenario's duration.
+        drop_probability: Baseline random message-drop probability.
+        events: Timed fault schedule.
+        config_overrides: Extra protocol-config fields (e.g.
+            ``{"relay_timeout": 0.02, "group_response_threshold": 0.75}``).
+        checks: Which checker families the runner applies post-hoc.
+        description: One line shown by the CLI and benchmark reports.
+    """
+
+    name: str
+    protocol: str = "pigpaxos"
+    num_nodes: int = 5
+    num_clients: int = 4
+    duration: float = 1.5
+    seed: int = 0
+    relay_groups: Optional[int] = None
+    wan: bool = False
+    use_region_groups: bool = False
+    workload: WorkloadSpec = field(default_factory=WorkloadSpec.checking_default)
+    client_timeout: float = 2.0
+    drop_probability: float = 0.0
+    events: Tuple[ScenarioEvent, ...] = ()
+    config_overrides: Optional[Mapping[str, object]] = None
+    checks: Tuple[str, ...] = ("linearizability", "log_invariants")
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1:
+            raise ConfigurationError("num_nodes must be >= 1")
+        if self.num_clients < 1:
+            raise ConfigurationError("num_clients must be >= 1")
+        if self.duration <= 0:
+            raise ConfigurationError("duration must be positive")
+        for check in self.checks:
+            if check not in CHECK_NAMES:
+                raise ConfigurationError(
+                    f"unknown check {check!r}; expected one of {CHECK_NAMES}"
+                )
+        for event in self.events:
+            if event.at > self.duration:
+                raise ConfigurationError(
+                    f"event {event.action!r} at t={event.at} fires after the "
+                    f"scenario ends (duration={self.duration})"
+                )
+
+    def with_seed(self, seed: int) -> "Scenario":
+        """The same scenario under a different seed (for seed sweeps)."""
+        return replace(self, seed=seed, name=f"{self.name}@{seed}")

@@ -57,6 +57,7 @@ class _BaseClient:
         targets: Sequence[int],
         target_policy: str = "leader",
         request_timeout: float = 2.0,
+        recorder=None,
     ) -> None:
         if not targets:
             raise WorkloadError("client needs at least one target node")
@@ -71,6 +72,7 @@ class _BaseClient:
         self._rng = sim.random.stream(f"client-{client_id}")
         self._generator = CommandGenerator(spec, client_id, self._rng)
         self._leader_hint = self._targets[0]
+        self._recorder = recorder
         self.stats = ClientStats(client_id=client_id)
         network.register(self)
 
@@ -100,6 +102,14 @@ class _BaseClient:
         self._network.send(self.endpoint_id, target, request)
         self.stats.sent += 1
 
+    def _record_invoke(self, command) -> None:
+        if self._recorder is not None:
+            self._recorder.invoke(command, self._sim.now)
+
+    def _record_complete(self, reply: ClientReply) -> None:
+        if self._recorder is not None:
+            self._recorder.complete(reply, self._sim.now)
+
 
 class ClosedLoopClient(_BaseClient):
     """One-outstanding-request client (the Paxi benchmark model)."""
@@ -115,8 +125,10 @@ class ClosedLoopClient(_BaseClient):
         request_timeout: float = 2.0,
         start_time: float = 0.0,
         max_requests: Optional[int] = None,
+        recorder=None,
     ) -> None:
-        super().__init__(client_id, sim, network, spec, targets, target_policy, request_timeout)
+        super().__init__(client_id, sim, network, spec, targets, target_policy,
+                         request_timeout, recorder=recorder)
         self._start_time = start_time
         self._max_requests = max_requests
         self._outstanding_request_id: Optional[int] = None
@@ -143,6 +155,7 @@ class ClosedLoopClient(_BaseClient):
         self._outstanding_request_id = command.request_id
         self._outstanding_request = request
         self._outstanding_sent_at = self._sim.now
+        self._record_invoke(command)
         self._send(request, self._pick_target())
         self._timeout_timer = self._sim.schedule(
             self._request_timeout, self._on_timeout, command.request_id, request
@@ -166,6 +179,7 @@ class ClosedLoopClient(_BaseClient):
         latency = self._sim.now - self._outstanding_sent_at
         self.stats.received += 1
         self.stats.completions.append((self._sim.now, latency))
+        self._record_complete(reply)
         self._note_leader_hint(reply)
         self._sim.metrics.histogram("client.latency").observe(latency)
         self._sim.metrics.timeseries("client.completions", interval=1.0).record(self._sim.now)
@@ -201,8 +215,10 @@ class OpenLoopClient(_BaseClient):
         target_policy: str = "leader",
         start_time: float = 0.0,
         duration: Optional[float] = None,
+        recorder=None,
     ) -> None:
-        super().__init__(client_id, sim, network, spec, targets, target_policy)
+        super().__init__(client_id, sim, network, spec, targets, target_policy,
+                         recorder=recorder)
         if rate_per_sec <= 0:
             raise WorkloadError("rate_per_sec must be positive")
         self._rate = rate_per_sec
@@ -221,6 +237,7 @@ class OpenLoopClient(_BaseClient):
             return
         command = self._generator.next_command()
         self._in_flight[command.request_id] = self._sim.now
+        self._record_invoke(command)
         self._send(ClientRequest(command=command), self._pick_target())
         self._sim.schedule(self._next_gap(), self._issue)
 
@@ -234,6 +251,7 @@ class OpenLoopClient(_BaseClient):
         latency = self._sim.now - sent_at
         self.stats.received += 1
         self.stats.completions.append((self._sim.now, latency))
+        self._record_complete(reply)
         self._note_leader_hint(reply)
         self._sim.metrics.histogram("client.latency").observe(latency)
         self._sim.metrics.timeseries("client.completions", interval=1.0).record(self._sim.now)

@@ -43,10 +43,15 @@ class CommandGenerator:
                 client_id=self.client_id,
                 request_id=self._request_id,
             )
+        value = None
+        if self.spec.unique_values:
+            # Identifiable writes for the linearizability checker: the value
+            # names the (client, request) pair that wrote it.
+            value = f"c{self.client_id}.r{self._request_id}"
         return Command(
             op=OpType.PUT,
             key=key,
-            value=None,
+            value=value,
             payload_size=self.spec.value_size,
             client_id=self.client_id,
             request_id=self._request_id,

@@ -28,6 +28,10 @@ class WorkloadSpec:
             experiments; 0.0 for the payload experiment).
         distribution: "uniform", "zipfian" or "sequential" key selection.
         zipf_theta: Skew parameter when distribution == "zipfian".
+        unique_values: When True, every PUT carries a value string unique to
+            its (client, request) pair instead of a size-only placeholder.
+            Reads then identify the write they observed, which is what the
+            linearizability checker needs (:mod:`repro.checkers`).
     """
 
     num_keys: int = 1000
@@ -36,6 +40,7 @@ class WorkloadSpec:
     read_ratio: float = 0.5
     distribution: str = "uniform"
     zipf_theta: float = 0.99
+    unique_values: bool = False
 
     def __post_init__(self) -> None:
         if self.num_keys < 1:
@@ -61,6 +66,16 @@ class WorkloadSpec:
     def payload(cls, value_size: int) -> "WorkloadSpec":
         """The write-only payload-size workload of Figure 12."""
         return cls(read_ratio=0.0, value_size=value_size)
+
+    @classmethod
+    def checking_default(cls, num_keys: int = 25) -> "WorkloadSpec":
+        """A small, contended workload with identifiable writes.
+
+        Used by the scenario engine: few keys (more per-key contention for
+        the linearizability search to bite on) and unique values so a read's
+        output names the write it observed.
+        """
+        return cls(num_keys=num_keys, read_ratio=0.5, unique_values=True)
 
     def with_value_size(self, value_size: int) -> "WorkloadSpec":
         return replace(self, value_size=value_size)

@@ -1,0 +1,254 @@
+"""Unit tests for the safety checkers: history recording, linearizability,
+log invariants.  Violation *detection* is tested on hand-built histories and
+clusters; whole-stack acceptance runs live in tests/test_scenarios.py."""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.checkers.history import History, HistoryRecorder, Operation
+from repro.checkers.invariants import (
+    check_execution_frontier,
+    check_prefix_agreement,
+    check_quorum_sanity,
+    check_slot_agreement,
+)
+from repro.checkers.linearizability import check_linearizability
+from repro.protocol.messages import ClientReply
+from repro.statemachine.command import Command, CommandResult, OpType
+from repro.statemachine.log import ReplicatedLog
+
+
+def op(client, rid, kind, key, value=None, inv=0.0, ret=None, output=None, found=None):
+    return Operation(
+        client_id=client, request_id=rid, op=kind, key=key, value=value,
+        invoked_at=inv, completed_at=ret, output=output, found=found,
+    )
+
+
+def lin(*ops):
+    return check_linearizability(History(list(ops)))
+
+
+class TestLinearizabilityChecker:
+    def test_empty_history_is_linearizable(self):
+        assert lin() == []
+
+    def test_sequential_writes_and_reads_pass(self):
+        assert lin(
+            op(1, 1, "put", "k", value="a", inv=0.0, ret=1.0),
+            op(1, 2, "get", "k", inv=2.0, ret=3.0, output="a", found=True),
+            op(2, 1, "put", "k", value="b", inv=4.0, ret=5.0),
+            op(1, 3, "get", "k", inv=6.0, ret=7.0, output="b", found=True),
+        ) == []
+
+    def test_read_of_unwritten_key_returns_absent(self):
+        assert lin(op(1, 1, "get", "k", inv=0.0, ret=1.0, output=None, found=False)) == []
+
+    def test_stale_read_is_flagged(self):
+        violations = lin(
+            op(1, 1, "put", "k", value="a", inv=0.0, ret=1.0),
+            op(2, 1, "put", "k", value="b", inv=2.0, ret=3.0),
+            # Reads "a" strictly after "b" completed: not linearizable.
+            op(3, 1, "get", "k", inv=4.0, ret=5.0, output="a", found=True),
+        )
+        assert len(violations) == 1
+        assert violations[0].checker == "linearizability"
+        assert "'k'" in violations[0].message
+
+    def test_read_from_nowhere_is_flagged(self):
+        violations = lin(
+            op(1, 1, "put", "k", value="a", inv=0.0, ret=1.0),
+            op(2, 1, "get", "k", inv=2.0, ret=3.0, output="ghost", found=True),
+        )
+        assert len(violations) == 1
+
+    def test_lost_update_is_flagged(self):
+        violations = lin(
+            op(1, 1, "put", "k", value="a", inv=0.0, ret=1.0),
+            op(2, 1, "get", "k", inv=2.0, ret=3.0, output=None, found=False),
+        )
+        assert len(violations) == 1
+
+    def test_concurrent_read_may_observe_either_value(self):
+        base = [
+            op(1, 1, "put", "k", value="a", inv=0.0, ret=1.0),
+            op(1, 2, "put", "k", value="b", inv=2.0, ret=6.0),
+        ]
+        overlapping_old = op(2, 1, "get", "k", inv=3.0, ret=4.0, output="a", found=True)
+        overlapping_new = op(2, 1, "get", "k", inv=3.0, ret=4.0, output="b", found=True)
+        assert lin(*base, overlapping_old) == []
+        assert lin(*base, overlapping_new) == []
+
+    def test_pending_write_may_have_taken_effect(self):
+        assert lin(
+            op(1, 1, "put", "k", value="a", inv=0.0, ret=None),  # never completed
+            op(2, 1, "get", "k", inv=5.0, ret=6.0, output="a", found=True),
+        ) == []
+
+    def test_pending_write_may_also_never_take_effect(self):
+        assert lin(
+            op(1, 1, "put", "k", value="a", inv=0.0, ret=None),
+            op(2, 1, "get", "k", inv=5.0, ret=6.0, output=None, found=False),
+        ) == []
+
+    def test_program_order_is_enforced_even_with_equal_timestamps(self):
+        # Client 1 writes "a" then "b" back-to-back (reply and next invoke
+        # share a timestamp, as in the simulator).  A later read must not
+        # observe "a".
+        violations = lin(
+            op(1, 1, "put", "k", value="a", inv=0.0, ret=1.0),
+            op(1, 2, "put", "k", value="b", inv=1.0, ret=2.0),
+            op(2, 1, "get", "k", inv=3.0, ret=4.0, output="a", found=True),
+        )
+        assert len(violations) == 1
+
+    def test_keys_are_checked_independently(self):
+        violations = lin(
+            op(1, 1, "put", "good", value="x", inv=0.0, ret=1.0),
+            op(2, 1, "get", "good", inv=2.0, ret=3.0, output="x", found=True),
+            op(1, 2, "put", "bad", value="y", inv=4.0, ret=5.0),
+            op(2, 2, "get", "bad", inv=6.0, ret=7.0, output="ghost", found=True),
+        )
+        assert len(violations) == 1
+        assert "'bad'" in violations[0].message
+
+    def test_delete_makes_key_absent(self):
+        assert lin(
+            op(1, 1, "put", "k", value="a", inv=0.0, ret=1.0),
+            op(1, 2, "delete", "k", inv=2.0, ret=3.0),
+            op(2, 1, "get", "k", inv=4.0, ret=5.0, output=None, found=False),
+        ) == []
+
+
+class TestHistoryRecorder:
+    def _command(self, client_id=1000, request_id=1, key="k", value="v"):
+        return Command(op=OpType.PUT, key=key, value=value,
+                       client_id=client_id, request_id=request_id)
+
+    def _reply(self, command, value=None, existed=False):
+        return ClientReply(
+            command_uid=command.uid,
+            request_id=command.request_id,
+            client_id=command.client_id,
+            success=True,
+            result=CommandResult(command_uid=command.uid, success=True,
+                                 value=value, existed=existed),
+        )
+
+    def test_invoke_is_idempotent_across_retries(self):
+        recorder = HistoryRecorder()
+        command = self._command()
+        recorder.invoke(command, at=1.0)
+        recorder.invoke(command, at=2.5)  # client retry re-sends the same command
+        history = recorder.history()
+        assert len(history) == 1
+        assert history.operations()[0].invoked_at == 1.0
+
+    def test_complete_records_result(self):
+        recorder = HistoryRecorder()
+        get = Command(op=OpType.GET, key="k", client_id=7, request_id=3)
+        recorder.invoke(get, at=1.0)
+        recorder.complete(self._reply(get, value="seen", existed=True), at=2.0)
+        operation = recorder.history().operations()[0]
+        assert operation.completed_at == 2.0
+        assert operation.output == "seen"
+        assert operation.found is True
+        assert not operation.pending
+
+    def test_unreplied_operations_stay_pending(self):
+        recorder = HistoryRecorder()
+        recorder.invoke(self._command(), at=1.0)
+        assert recorder.history().pending()[0].pending
+
+    def test_placeholder_value_matches_kvstore(self):
+        recorder = HistoryRecorder()
+        recorder.invoke(Command(op=OpType.PUT, key="k", payload_size=64,
+                                client_id=1, request_id=1), at=0.0)
+        assert recorder.history().operations()[0].value == "<64B>"
+
+    def test_fingerprint_ignores_global_command_uids(self):
+        def record():
+            recorder = HistoryRecorder()
+            command = self._command()  # fresh object, fresh uid
+            recorder.invoke(command, at=1.0)
+            recorder.complete(self._reply(command), at=2.0)
+            return recorder.history().fingerprint()
+
+        assert record() == record()
+
+
+class _FakeCluster:
+    """Just enough Cluster surface for the invariant checkers."""
+
+    def __init__(self, replicas):
+        self.nodes = {
+            node_id: SimpleNamespace(replica=replica)
+            for node_id, replica in enumerate(replicas)
+        }
+
+    def committed_prefixes(self):
+        prefixes = {}
+        for node_id, node in self.nodes.items():
+            log = getattr(node.replica, "log", None)
+            if log is not None:
+                prefixes[node_id] = log.committed_prefix_uids()
+        return prefixes
+
+
+def _replica(quorum=None):
+    return SimpleNamespace(log=ReplicatedLog(), commit_upto=0, quorum=quorum)
+
+
+def _put(key="k"):
+    return Command(op=OpType.PUT, key=key, value="v")
+
+
+class TestLogInvariants:
+    def test_agreeing_logs_pass(self):
+        command = _put()
+        replicas = [_replica(), _replica()]
+        for replica in replicas:
+            replica.log.commit(1, (1, 0), command)
+            replica.commit_upto = 1
+        cluster = _FakeCluster(replicas)
+        assert check_slot_agreement(cluster) == []
+        assert check_prefix_agreement(cluster) == []
+        assert check_execution_frontier(cluster) == []
+
+    def test_conflicting_slot_is_flagged(self):
+        a, b = _replica(), _replica()
+        a.log.commit(1, (1, 0), _put())
+        b.log.commit(1, (1, 0), _put())  # different command, same slot
+        violations = check_slot_agreement(_FakeCluster([a, b]))
+        assert len(violations) == 1
+        assert violations[0].checker == "slot_agreement"
+
+    def test_diverging_prefix_is_flagged(self):
+        shared = _put()
+        a, b = _replica(), _replica()
+        for replica in (a, b):
+            replica.log.commit(1, (1, 0), shared)
+        a.log.commit(2, (1, 0), _put())
+        b.log.commit(2, (1, 0), _put())
+        violations = check_prefix_agreement(_FakeCluster([a, b]))
+        assert violations and violations[0].checker == "prefix_agreement"
+        assert "slot 2" in violations[0].message
+
+    def test_commit_frontier_beyond_committed_slots_is_flagged(self):
+        lying = _replica()
+        lying.commit_upto = 3  # nothing actually committed
+        violations = check_execution_frontier(_FakeCluster([lying]))
+        assert violations and violations[0].checker == "execution_frontier"
+
+    def test_non_intersecting_quorums_are_flagged(self):
+        bad = SimpleNamespace(n=2, phase1_size=1, phase2_size=1)
+        violations = check_quorum_sanity(_FakeCluster([_replica(bad), _replica(bad)]))
+        assert violations and violations[0].checker == "quorum_sanity"
+
+    def test_mis_sized_quorum_is_flagged(self):
+        wrong_n = SimpleNamespace(n=5, phase1_size=3, phase2_size=3)
+        violations = check_quorum_sanity(_FakeCluster([_replica(wrong_n)]))
+        assert violations and "n=5" in violations[0].message

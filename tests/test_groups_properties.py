@@ -1,0 +1,129 @@
+"""Property-based tests for the relay-group planners and tree builder.
+
+Seeded random cluster shapes (the container has no hypothesis, so this is
+a hand-rolled property harness: each seed generates one random case and
+asserts the planner invariants the PigPaxos overlay depends on):
+
+* every follower lands in exactly one group,
+* the group count honours the configuration,
+* region grouping respects the ``region_of`` map, and
+* per-round relay trees cover each group member exactly once.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.groups import (
+    RelayGroupPlan,
+    contiguous_groups,
+    hash_groups,
+    region_groups,
+    round_robin_groups,
+)
+from repro.errors import ConfigurationError
+
+SEEDS = list(range(30))
+
+PARTITIONERS = (contiguous_groups, round_robin_groups, hash_groups)
+
+
+def random_members(rng: random.Random) -> list:
+    size = rng.randint(1, 60)
+    members = rng.sample(range(1000), size)
+    rng.shuffle(members)
+    return members
+
+
+class TestPartitioners:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("partitioner", PARTITIONERS, ids=lambda p: p.__name__)
+    def test_every_follower_appears_exactly_once(self, partitioner, seed):
+        rng = random.Random(seed)
+        members = random_members(rng)
+        num_groups = rng.randint(1, 8)
+        groups = partitioner(members, num_groups)
+        flat = [member for group in groups for member in group]
+        assert sorted(flat) == sorted(members)
+        assert len(flat) == len(set(flat))
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("partitioner", PARTITIONERS, ids=lambda p: p.__name__)
+    def test_group_count_matches_config(self, partitioner, seed):
+        rng = random.Random(seed)
+        members = random_members(rng)
+        num_groups = rng.randint(1, 8)
+        groups = partitioner(members, num_groups)
+        assert len(groups) == min(num_groups, len(members))
+        assert all(group for group in groups)
+
+    @pytest.mark.parametrize("partitioner", PARTITIONERS, ids=lambda p: p.__name__)
+    def test_zero_groups_rejected(self, partitioner):
+        with pytest.raises(ConfigurationError):
+            partitioner([1, 2, 3], 0)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_group_sizes_are_balanced(self, seed):
+        # Contiguous and round-robin promise near-equal sizes (max spread 1).
+        rng = random.Random(seed)
+        members = random_members(rng)
+        num_groups = rng.randint(1, 8)
+        for partitioner in (contiguous_groups, round_robin_groups):
+            sizes = [len(group) for group in partitioner(members, num_groups)]
+            assert max(sizes) - min(sizes) <= 1
+
+
+class TestRegionGroups:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_region_grouping_respects_region_of(self, seed):
+        rng = random.Random(seed)
+        members = random_members(rng)
+        regions = ("virginia", "california", "oregon", "tokyo")
+        region_of = {
+            member: rng.choice(regions)
+            for member in members
+            if rng.random() > 0.1  # some members have no region (leftovers)
+        }
+        groups = region_groups(members, region_of)
+        flat = [member for group in groups for member in group]
+        assert sorted(flat) == sorted(members)
+        for group in groups:
+            group_regions = {region_of.get(member) for member in group}
+            assert len(group_regions) == 1  # one region per group (None = leftovers)
+        present = {region_of[m] for m in members if m in region_of}
+        leftovers = [m for m in members if m not in region_of]
+        assert len(groups) == len(present) + (1 if leftovers else 0)
+
+
+class TestRelayTrees:
+    @pytest.mark.parametrize("seed", SEEDS[:12])
+    @pytest.mark.parametrize("levels", (1, 2, 3))
+    def test_trees_cover_every_member_exactly_once(self, seed, levels):
+        rng = random.Random(seed)
+        members = random_members(rng)
+        num_groups = rng.randint(1, 6)
+        plan = RelayGroupPlan(groups=round_robin_groups(members, num_groups))
+        trees = plan.build_trees(rng, levels=levels)
+        assert len(trees) == plan.num_groups
+        covered = [node for tree in trees for node in tree.all_nodes()]
+        assert sorted(covered) == sorted(members)
+        assert len(covered) == len(set(covered))
+
+    @pytest.mark.parametrize("seed", SEEDS[:12])
+    def test_reshuffle_preserves_membership_and_sizes(self, seed):
+        rng = random.Random(seed)
+        members = random_members(rng)
+        plan = RelayGroupPlan(groups=round_robin_groups(members, rng.randint(1, 6)))
+        reshuffled = plan.reshuffle(rng)
+        assert sorted(reshuffled.members) == sorted(members)
+        assert [len(g) for g in reshuffled.groups] == [len(g) for g in plan.groups]
+
+    def test_duplicate_membership_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RelayGroupPlan(groups=[[1, 2], [2, 3]])
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RelayGroupPlan(groups=[[1], []])

@@ -268,3 +268,124 @@ class TestFailover:
         status = replica.status()
         assert status["is_leader"] is True
         assert status["node"] == 0
+
+
+class TestAtMostOnceExecution:
+    """Client-session dedup: a command committed in two slots applies once."""
+
+    def test_duplicate_command_in_two_slots_applies_once(self):
+        replica, ctx = make_replica()
+        elect(replica, ctx)
+        ballot = replica.ballot
+        first = Command(op=OpType.PUT, key="k", value="first", client_id=1000, request_id=1)
+        replica.on_message(1000, ClientRequest(command=first))
+        for voter in (1, 2):
+            replica.on_message(voter, P2b(ballot=ballot, slot=1, voter=voter, ok=True))
+        assert replica.store.get("k") == "first"
+
+        # Another client writes the same key in the next slot.
+        second = Command(op=OpType.PUT, key="k", value="second", client_id=1001, request_id=1)
+        replica.on_message(1001, ClientRequest(command=second))
+        for voter in (1, 2):
+            replica.on_message(voter, P2b(ballot=ballot, slot=2, voter=voter, ok=True))
+        assert replica.store.get("k") == "second"
+
+        # Client 1000 retries its first request (e.g. its reply was lost) and
+        # the command is legitimately committed again in a third slot.  The
+        # second application must be suppressed or it would clobber "second".
+        replica.on_message(1000, ClientRequest(command=first))
+        for voter in (1, 2):
+            replica.on_message(voter, P2b(ballot=ballot, slot=3, voter=voter, ok=True))
+        assert replica.log.is_committed(3)
+        assert replica.store.get("k") == "second"
+        assert ctx.metrics.counter("paxos.duplicate_commands_skipped").value == 1
+        # The retrying client still gets an answer (from the cached result).
+        replies = [msg for dst, msg in ctx.sent_of_type(ClientReply) if dst == 1000]
+        assert len(replies) == 2
+
+    def test_commands_without_session_info_always_apply(self):
+        replica, ctx = make_replica()
+        elect(replica, ctx)
+        ballot = replica.ballot
+        for slot in (1, 2):
+            anonymous = Command(op=OpType.PUT, key="k", value=f"v{slot}")  # request_id=0
+            replica.on_message(1000, ClientRequest(command=anonymous))
+            for voter in (1, 2):
+                replica.on_message(voter, P2b(ballot=ballot, slot=slot, voter=voter, ok=True))
+        assert replica.store.get("k") == "v2"
+        assert ctx.metrics.counter("paxos.duplicate_commands_skipped").value == 0
+
+
+class TestRecoveryCommitFrontier:
+    """A new leader must treat the quorum's committed frontier as decided.
+
+    Executed entries are pruned from P1b promises, so without the frontier a
+    recovering leader would propose fresh no-ops over committed slots --
+    which is exactly the StateMachineError the partition scenarios caught.
+    """
+
+    def test_new_leader_skips_slots_committed_elsewhere(self):
+        replica, ctx = make_replica(node_id=3, leader=3)
+        replica.start()
+        for timer in list(ctx.pending_timers()):
+            if timer.delay == 0.0:
+                timer.fire()
+        ballot = replica.ballot
+        pending_command = Command(op=OpType.PUT, key="p", value="pending")
+        replica.on_message(1, P1b(ballot=ballot, voter=1, ok=True, commit_upto=7))
+        replica.on_message(2, P1b(
+            ballot=ballot, voter=2, ok=True,
+            accepted={8: (Ballot(1, 0), pending_command)}, commit_upto=7,
+        ))
+        assert replica.is_leader
+        assert replica.next_slot == 9
+
+        # Slots 1..7 are committed (and executed/pruned) on the voters: the
+        # new leader must not propose anything there...
+        proposed_slots = {msg.slot for _, msg in ctx.sent_of_type(P2a)}
+        assert proposed_slots == {8}
+        # ...but must fetch them from the voters that reported the frontier.
+        fills = ctx.sent_of_type(FillRequest)
+        assert {dst for dst, _ in fills} == {1, 2}
+        assert all(set(msg.slots) == set(range(1, 8)) for _, msg in fills)
+
+    def test_reported_commands_below_frontier_are_still_reproposed(self):
+        # A voter holds slot 5 accepted-but-unexecuted (so it IS in its
+        # promise) while the quorum frontier is 7.  Re-proposing the reported
+        # command is safe and keeps recovery live even if every replica that
+        # had slot 5 committed crashes before answering a fill.
+        replica, ctx = make_replica(node_id=3, leader=3)
+        replica.start()
+        for timer in list(ctx.pending_timers()):
+            if timer.delay == 0.0:
+                timer.fire()
+        ballot = replica.ballot
+        surviving = Command(op=OpType.PUT, key="s", value="survivor")
+        replica.on_message(1, P1b(
+            ballot=ballot, voter=1, ok=True,
+            accepted={5: (Ballot(1, 0), surviving)}, commit_upto=7,
+        ))
+        replica.on_message(2, P1b(ballot=ballot, voter=2, ok=True, commit_upto=7))
+        assert replica.is_leader
+        proposed = {msg.slot: msg.command for _, msg in ctx.sent_of_type(P2a)}
+        assert 5 in proposed and proposed[5] is surviving
+        # The pruned slots are fetched, never filled with fresh no-ops.
+        assert set(proposed) == {5}
+
+    def test_fill_reply_completes_the_recovered_prefix(self):
+        replica, ctx = make_replica(node_id=3, leader=3)
+        replica.start()
+        for timer in list(ctx.pending_timers()):
+            if timer.delay == 0.0:
+                timer.fire()
+        ballot = replica.ballot
+        replica.on_message(1, P1b(ballot=ballot, voter=1, ok=True, commit_upto=3))
+        replica.on_message(2, P1b(ballot=ballot, voter=2, ok=True, commit_upto=3))
+        assert replica.is_leader
+
+        commands = {slot: Command(op=OpType.PUT, key=f"k{slot}", value=f"v{slot}") for slot in (1, 2, 3)}
+        entries = tuple((slot, Ballot(1, 0), commands[slot]) for slot in (1, 2, 3))
+        replica.on_message(1, FillReply(entries=entries))
+        assert replica.commit_upto == 3
+        assert replica.store.get("k3") == "v3"
+        assert replica.log.executed_count == 3

@@ -273,6 +273,103 @@ class TestLeaderAggregation:
         assert len(status["relay_groups"]) == 2
 
 
+class TestRelayFailureRecovery:
+    """Regression tests: a crashed relay must not sink a round or its votes."""
+
+    def test_crashed_relay_round_is_retried_and_still_commits(self):
+        replica, ctx = make_replica(cluster=9, groups=2)
+        elect(replica, ctx)
+        replica.on_message(1000, client_request(request_id=5))
+        first_round = ctx.sent_of_type(PigRelayRequest)
+        assert len(first_round) == 2
+        slot = first_round[0][1].inner.slot
+        first_agg = first_round[0][1].agg_id
+        first_relays = {dst for dst, _ in first_round}
+
+        # Both relays crash silently: no aggregates ever come back, the
+        # leader's per-proposal retry timer fires instead.
+        retry_timers = [t for t in ctx.pending_timers() if t.callback == replica._retry_proposal]
+        assert retry_timers
+        ctx.clear_sent()
+        retry_timers[0].fire()
+
+        second_round = ctx.sent_of_type(PigRelayRequest)
+        assert len(second_round) == 2
+        second_agg = second_round[0][1].agg_id
+        assert second_agg != first_agg  # a genuinely fresh round
+        assert not replica.log.is_committed(slot)
+
+        # The fresh relays answer with a quorum of votes; the slot commits
+        # and the client is answered even though round one died entirely.
+        ballot = replica.ballot
+        votes = tuple(
+            P2b(ballot=ballot, slot=slot, voter=voter, ok=True) for voter in (1, 2, 3, 4)
+        )
+        relay = next(dst for dst, _ in second_round)
+        replica.on_message(relay, PigAggregate(agg_id=second_agg, responses=votes, origin=relay))
+        assert replica.log.is_committed(slot)
+        assert ctx.sent_of_type(ClientReply)
+        assert ctx.metrics.counter("pigpaxos.leader_round_retries").value >= 1
+        # Either rotation picked different relays or the rng re-picked the
+        # same ones -- both legal; the round id is what must differ.
+        assert first_relays  # silence unused-variable linters
+
+    def test_late_child_response_after_timeout_is_forwarded_to_parent(self):
+        replica, ctx = make_replica(node_id=1)
+        children = (RelaySubtree(2), RelaySubtree(3))
+        ballot = Ballot(1, 0)
+        command = Command(op=OpType.PUT, key="x", payload_size=8)
+        inner = P2a(ballot=ballot, slot=1, command=command, commit_upto=0)
+        replica.on_message(0, PigRelayRequest(inner=inner, children=children, agg_id=33, timeout=0.05))
+        replica.on_message(2, PigAggregate(
+            agg_id=33, responses=(P2b(ballot=ballot, slot=1, voter=2, ok=True),), origin=2))
+        timeout_timers = [t for t in ctx.pending_timers() if t.callback == replica._session_timeout]
+        timeout_timers[0].fire()  # partial flush: child 3 never answered
+        ctx.clear_sent()
+
+        # Child 3's vote finally arrives.  Before the fix this was swallowed
+        # by the relay's own (follower) handling and the leader never saw it.
+        late_vote = P2b(ballot=ballot, slot=1, voter=3, ok=True)
+        replica.on_message(3, PigAggregate(agg_id=33, responses=(late_vote,), origin=3))
+        forwarded = ctx.sent_of_type(PigAggregate)
+        assert len(forwarded) == 1
+        dst, aggregate = forwarded[0]
+        assert dst == 0  # up the tree, towards the leader
+        assert aggregate.responses == (late_vote,)
+        assert not aggregate.complete
+        assert ctx.metrics.counter("pigpaxos.late_responses_forwarded").value == 1
+
+    def test_late_response_after_threshold_flush_is_forwarded(self):
+        replica, ctx = make_replica(node_id=1, group_response_threshold=0.5)
+        children = tuple(RelaySubtree(n) for n in (2, 3, 4, 5))
+        ballot = Ballot(1, 0)
+        inner = P2a(ballot=ballot, slot=1, command=Command(op=OpType.PUT, key="x"), commit_upto=0)
+        replica.on_message(0, PigRelayRequest(inner=inner, children=children, agg_id=44, timeout=0.05))
+        for child in (2, 3):
+            replica.on_message(child, PigAggregate(
+                agg_id=44, responses=(P2b(ballot=ballot, slot=1, voter=child, ok=True),), origin=child))
+        assert len(ctx.sent_of_type(PigAggregate)) == 1  # early flush at 2/4
+        ctx.clear_sent()
+        replica.on_message(4, PigAggregate(
+            agg_id=44, responses=(P2b(ballot=ballot, slot=1, voter=4, ok=True),), origin=4))
+        forwarded = ctx.sent_of_type(PigAggregate)
+        assert forwarded and forwarded[0][0] == 0
+
+    def test_flushed_session_memory_is_bounded(self):
+        replica, ctx = make_replica(node_id=1)
+        ballot = Ballot(1, 0)
+        for agg_id in range(replica._FLUSHED_SESSION_MEMORY + 50):
+            inner = P2a(ballot=ballot, slot=agg_id + 1,
+                        command=Command(op=OpType.PUT, key="x"), commit_upto=0)
+            replica.on_message(0, PigRelayRequest(
+                inner=inner, children=(RelaySubtree(2),), agg_id=agg_id, timeout=0.05))
+            replica.on_message(2, PigAggregate(
+                agg_id=agg_id,
+                responses=(P2b(ballot=ballot, slot=agg_id + 1, voter=2, ok=True),),
+                origin=2))
+        assert len(replica._flushed_parents) <= replica._FLUSHED_SESSION_MEMORY
+
+
 class TestAggregateSizeAccounting:
     def test_aggregate_payload_sums_children(self):
         ballot = Ballot(1, 0)
