@@ -32,6 +32,7 @@ def _run_library():
                 f"{throughput:.0f}",
                 int(counters.get("faults.crashes", 0)),
                 int(counters.get("net.messages_dropped", 0)),
+                int(counters.get("net.messages_duplicated", 0)),
                 int(counters.get("pigpaxos.relay_timeouts", 0)),
                 "OK" if result.ok else f"{len(result.violations)} VIOLATIONS",
             )
@@ -44,7 +45,7 @@ def test_scenario_library_safety_sweep(benchmark):
     rows = benchmark.pedantic(_run_library, rounds=1, iterations=1)
 
     lines = comparison_table(
-        ["scenario", "protocol", "nodes", "ops/s", "crashes", "drops", "relay t/o", "checkers"],
+        ["scenario", "protocol", "nodes", "ops/s", "crashes", "drops", "dups", "relay t/o", "checkers"],
         rows,
     )
     report("scenario_safety_sweep", "Adversarial scenario sweep (safety checkers enabled)", lines)

@@ -12,7 +12,10 @@ this package:
 * :mod:`repro.checkers.invariants` -- log-level invariants that hold for
   Paxos/PigPaxos regardless of schedule: a single value chosen per slot
   across replicas, agreement on the gap-free committed prefix, execution
-  never running ahead of commitment, and quorum-size sanity.
+  never running ahead of commitment, and quorum-size sanity.  Plus the
+  EPaxos family: cross-replica agreement on each committed instance's
+  ``(seq, deps, command)``, dependency-respecting local execution order,
+  and per-key cross-replica execution consistency.
 
 Checkers never mutate the cluster; each returns a list of
 :class:`~repro.checkers.invariants.Violation` records (empty means the
@@ -23,10 +26,15 @@ tests and benchmarks can also run them against hand-built clusters.
 from repro.checkers.history import History, HistoryRecorder, Operation
 from repro.checkers.invariants import (
     Violation,
+    check_epaxos_conflict_ordering,
+    check_epaxos_execution_consistency,
+    check_epaxos_execution_order,
+    check_epaxos_instance_agreement,
     check_execution_frontier,
     check_prefix_agreement,
     check_quorum_sanity,
     check_slot_agreement,
+    run_epaxos_checks,
     run_log_checks,
 )
 from repro.checkers.linearizability import LinearizabilityChecker, check_linearizability
@@ -36,10 +44,15 @@ __all__ = [
     "HistoryRecorder",
     "Operation",
     "Violation",
+    "check_epaxos_conflict_ordering",
+    "check_epaxos_execution_consistency",
+    "check_epaxos_execution_order",
+    "check_epaxos_instance_agreement",
     "check_execution_frontier",
     "check_prefix_agreement",
     "check_quorum_sanity",
     "check_slot_agreement",
+    "run_epaxos_checks",
     "run_log_checks",
     "LinearizabilityChecker",
     "check_linearizability",

@@ -12,16 +12,34 @@ partitions, drops or relay churn may ever
   (:func:`check_execution_frontier`), or
 * run with quorums that do not intersect (:func:`check_quorum_sanity`).
 
+EPaxos has no shared slot-ordered log, so the slot checks above do not apply
+to it; its correctness argument is per-instance and per-dependency-graph
+instead (Moraru et al., SOSP'13), and is covered by a parallel family of
+checks:
+
+* every pair of replicas that committed an instance must agree on its
+  ``(seq, deps, command)`` triple (:func:`check_epaxos_instance_agreement`),
+* each replica's local execution order must be a valid linearisation of its
+  committed dependency graph -- dependencies outside an instance's strongly
+  connected component execute first, and nothing executes with an
+  uncommitted or unexecuted dependency
+  (:func:`check_epaxos_execution_order`), and
+* any two replicas must execute the instances touching one key in the same
+  order, prefix-wise (:func:`check_epaxos_execution_consistency`) -- the
+  state-machine-equivalence property that dependency tracking exists to
+  provide.
+
 Each check takes the :class:`~repro.cluster.builder.Cluster` post-run and
 returns a list of :class:`Violation` records; an empty list means the
 invariant held.  Replicas without a ``log`` attribute (EPaxos) are skipped
-by the log checks.
+by the log checks, and the EPaxos checks skip every replica without a
+dependency graph.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 
 @dataclass(frozen=True)
@@ -171,5 +189,355 @@ def run_log_checks(cluster) -> List[Violation]:
     """Run every log/cluster invariant check and concatenate the violations."""
     violations: List[Violation] = []
     for check in LOG_CHECKS:
+        violations.extend(check(cluster))
+    return violations
+
+
+# --------------------------------------------------------------------------
+# EPaxos invariants (instance/dependency-graph based, no shared log).
+# --------------------------------------------------------------------------
+
+#: Instance statuses that mean "this replica learned the commit decision".
+_EPAXOS_DECIDED = ("committed", "executed")
+
+
+def _epaxos_replicas(cluster) -> Dict[int, object]:
+    replicas: Dict[int, object] = {}
+    for node_id, node in cluster.nodes.items():
+        replica = node.replica
+        if getattr(replica, "graph", None) is not None and hasattr(replica, "instances"):
+            replicas[node_id] = replica
+    return replicas
+
+
+def check_epaxos_instance_agreement(cluster) -> List[Violation]:
+    """Replicas that committed an instance agree on its (seq, deps, command)."""
+    violations: List[Violation] = []
+    chosen: Dict[Tuple[int, int], Tuple[int, Tuple]] = {}
+    for node_id, replica in sorted(_epaxos_replicas(cluster).items()):
+        for instance_id, instance in sorted(replica.instances.items()):
+            if instance.status not in _EPAXOS_DECIDED:
+                continue
+            record = (
+                instance.seq,
+                frozenset(instance.deps),
+                getattr(instance.command, "uid", None),
+            )
+            previous = chosen.get(instance_id)
+            if previous is None:
+                chosen[instance_id] = (node_id, record)
+            elif previous[1] != record:
+                violations.append(
+                    Violation(
+                        checker="epaxos_instance_agreement",
+                        message=(
+                            f"instance {instance_id}: node {previous[0]} committed "
+                            f"(seq={previous[1][0]}, deps={sorted(previous[1][1])}, "
+                            f"uid={previous[1][2]}) but node {node_id} committed "
+                            f"(seq={record[0]}, deps={sorted(record[1])}, uid={record[2]})"
+                        ),
+                    )
+                )
+    return violations
+
+
+def _committed_sccs(
+    nodes: Iterable[Tuple[int, int]],
+    deps_of,
+) -> Dict[Tuple[int, int], int]:
+    """Strongly connected components of the committed dependency graph.
+
+    Returns instance -> component id.  Edges to instances outside ``nodes``
+    (uncommitted at this replica) are ignored; such instances cannot be part
+    of a committed cycle.  Iterative Tarjan, same shape as the planner in
+    :mod:`repro.epaxos.graph`.
+    """
+    node_set = set(nodes)
+    indices: Dict[Tuple[int, int], int] = {}
+    lowlink: Dict[Tuple[int, int], int] = {}
+    on_stack: Set[Tuple[int, int]] = set()
+    stack: List[Tuple[int, int]] = []
+    component_of: Dict[Tuple[int, int], int] = {}
+    counter = 0
+    components = 0
+
+    for root in sorted(node_set):
+        if root in indices:
+            continue
+        work = [(root, iter(sorted(d for d in deps_of(root) if d in node_set)))]
+        indices[root] = lowlink[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, dep_iter = work[-1]
+            advanced = False
+            for dep in dep_iter:
+                if dep not in indices:
+                    indices[dep] = lowlink[dep] = counter
+                    counter += 1
+                    stack.append(dep)
+                    on_stack.add(dep)
+                    work.append((dep, iter(sorted(d for d in deps_of(dep) if d in node_set))))
+                    advanced = True
+                    break
+                if dep in on_stack:
+                    lowlink[node] = min(lowlink[node], indices[dep])
+            if advanced:
+                continue
+            work.pop()
+            if lowlink[node] == indices[node]:
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component_of[member] = components
+                    if member == node:
+                        break
+                components += 1
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+    return component_of
+
+
+def check_epaxos_execution_order(cluster) -> List[Violation]:
+    """Each replica's execution order must respect its dependency graph.
+
+    For every executed instance X and every dependency D of X: D must be
+    committed and executed on that replica, and -- unless D and X sit in the
+    same strongly connected component (a dependency cycle, which executes as
+    one batch) -- D must execute strictly before X.  Within one component
+    the batch must execute in ``(seq, instance id)`` order, the protocol's
+    deterministic cycle tie-break.  An instance may also never execute
+    twice.
+    """
+    violations: List[Violation] = []
+    for node_id, replica in sorted(_epaxos_replicas(cluster).items()):
+        graph = replica.graph
+        executed = list(getattr(replica, "executed_order", []))
+        position = {instance: i for i, instance in enumerate(executed)}
+        if len(position) != len(executed):
+            dupes = sorted({i for i in executed if executed.count(i) > 1})
+            violations.append(
+                Violation(
+                    checker="epaxos_execution_order",
+                    message=f"node {node_id} executed instances {dupes} more than once",
+                )
+            )
+            continue
+        committed = graph.committed_instances()
+        scc = _committed_sccs(committed, graph.deps_of)
+        for instance in executed:
+            for dep in sorted(graph.deps_of(instance)):
+                if dep not in committed:
+                    violations.append(
+                        Violation(
+                            checker="epaxos_execution_order",
+                            message=(
+                                f"node {node_id} executed {instance} whose "
+                                f"dependency {dep} is not committed locally"
+                            ),
+                        )
+                    )
+                elif dep not in position:
+                    violations.append(
+                        Violation(
+                            checker="epaxos_execution_order",
+                            message=(
+                                f"node {node_id} executed {instance} whose "
+                                f"dependency {dep} was never executed"
+                            ),
+                        )
+                    )
+                elif scc.get(dep) != scc.get(instance) and position[dep] > position[instance]:
+                    violations.append(
+                        Violation(
+                            checker="epaxos_execution_order",
+                            message=(
+                                f"node {node_id} executed {instance} (position "
+                                f"{position[instance]}) before its dependency {dep} "
+                                f"(position {position[dep]})"
+                            ),
+                        )
+                    )
+        # Members of one committed cycle must execute in (seq, id) order --
+        # no member can execute until every member is committed, so the
+        # planner emits the whole component as one deterministically sorted
+        # batch; any other relative order is a planner bug.
+        members_by_component: Dict[int, List[Tuple[int, int]]] = {}
+        for instance in executed:
+            component = scc.get(instance)
+            if component is not None:
+                members_by_component.setdefault(component, []).append(instance)
+        for component, members in sorted(members_by_component.items()):
+            if len(members) < 2:
+                continue
+            by_position = sorted(members, key=lambda inst: position[inst])
+            by_seq = sorted(members, key=lambda inst: (graph.seq_of(inst), inst))
+            if by_position != by_seq:
+                violations.append(
+                    Violation(
+                        checker="epaxos_execution_order",
+                        message=(
+                            f"node {node_id} executed dependency cycle "
+                            f"{sorted(members)} out of (seq, id) order: "
+                            f"ran {by_position}, expected {by_seq}"
+                        ),
+                    )
+                )
+    return violations
+
+
+def _per_key_executed_uids(replica) -> Dict[str, List[Optional[int]]]:
+    by_key: Dict[str, List[Optional[int]]] = {}
+    for instance_id in getattr(replica, "executed_order", []):
+        instance = replica.instances.get(instance_id)
+        if instance is None:
+            continue
+        key = getattr(instance.command, "key", None)
+        if key is None:
+            continue
+        by_key.setdefault(key, []).append(getattr(instance.command, "uid", None))
+    return by_key
+
+
+def check_epaxos_execution_consistency(cluster) -> List[Violation]:
+    """Any two replicas execute the instances of one key in the same order.
+
+    Conflicting (same-key) instances are totally ordered by the dependency
+    graph, so per key every replica's executed sequence of command uids must
+    agree pairwise on the common prefix; a replica that missed late commits
+    simply stops earlier.  This is the state-machine-equivalence property:
+    if it holds for every key, all KV stores converge.
+    """
+    violations: List[Violation] = []
+    sequences = {
+        node_id: _per_key_executed_uids(replica)
+        for node_id, replica in sorted(_epaxos_replicas(cluster).items())
+    }
+    node_ids = sorted(sequences)
+    for i, a_id in enumerate(node_ids):
+        for b_id in node_ids[i + 1:]:
+            a_keys, b_keys = sequences[a_id], sequences[b_id]
+            for key in sorted(set(a_keys) & set(b_keys)):
+                a, b = a_keys[key], b_keys[key]
+                common = min(len(a), len(b))
+                for index in range(common):
+                    if a[index] != b[index]:
+                        violations.append(
+                            Violation(
+                                checker="epaxos_execution_consistency",
+                                message=(
+                                    f"nodes {a_id} and {b_id} diverge on key {key!r} "
+                                    f"at executed position {index}: "
+                                    f"uid {a[index]} vs {b[index]}"
+                                ),
+                            )
+                        )
+                        break
+    return violations
+
+
+def check_epaxos_conflict_ordering(cluster) -> List[Violation]:
+    """Conflicting executed instances must be dependency-connected.
+
+    The EPaxos safety argument rests on the preaccept quorums of any two
+    conflicting commands intersecting, which guarantees at least one of the
+    two carries a committed dependency path to the other -- that path is
+    what pins their relative execution order on every replica.  A reply-
+    accounting bug (e.g. counting a retransmitted vote twice) commits on an
+    undersized quorum and silently loses that path; the two instances then
+    commute in the executor even though they touch the same key.  This check
+    exposes the lost edge directly instead of waiting for replicas to
+    actually diverge: for every pair of same-key instances that some replica
+    executed, the cluster-wide committed graph must contain a path between
+    them (same strongly connected component counts).
+    """
+    violations: List[Violation] = []
+    replicas = _epaxos_replicas(cluster)
+    if not replicas:
+        return violations
+
+    # Union committed graph + executed set + key per instance.  Instance
+    # agreement (checked separately) makes the union well-defined.
+    deps: Dict[Tuple[int, int], frozenset] = {}
+    by_key: Dict[str, Set[Tuple[int, int]]] = {}
+    executed: Set[Tuple[int, int]] = set()
+    for replica in replicas.values():
+        executed.update(getattr(replica, "executed_order", []))
+        for instance_id, instance in replica.instances.items():
+            if instance.status not in _EPAXOS_DECIDED:
+                continue
+            deps.setdefault(instance_id, frozenset(instance.deps))
+            key = getattr(instance.command, "key", None)
+            if key is not None:
+                by_key.setdefault(key, set()).add(instance_id)
+
+    def deps_of(instance_id):
+        return deps.get(instance_id, frozenset())
+
+    scc = _committed_sccs(deps, deps_of)
+    for key in sorted(by_key):
+        members = sorted(i for i in by_key[key] if i in executed)
+        if len(members) < 2:
+            continue
+        # Reachability over the condensed (acyclic) graph, restricted to
+        # this key's instances: deps never cross keys, so the per-key
+        # subgraph is self-contained.  Bitmask DP over components.
+        components = sorted({scc[m] for m in members if m in scc})
+        comp_index = {component: i for i, component in enumerate(components)}
+        comp_members: Dict[int, List[Tuple[int, int]]] = {}
+        for member in members:
+            comp_members.setdefault(comp_index[scc[member]], []).append(member)
+        edges: Dict[int, Set[int]] = {i: set() for i in comp_index.values()}
+        for member in members:
+            src = comp_index[scc[member]]
+            for dep in deps_of(member):
+                dst = comp_index.get(scc.get(dep, -1))
+                if dst is not None and dst != src:
+                    edges[src].add(dst)
+        # Transitive closure by bitmask DP.  Tarjan emits components in
+        # reverse topological order (a dependency is always emitted before
+        # its dependents and gets the smaller id), so ascending id order
+        # visits every successor before the components that need it.
+        reach: Dict[int, int] = {}
+        for component in components:  # already sorted ascending
+            index = comp_index[component]
+            mask = 0
+            for successor in edges[index]:
+                mask |= (1 << successor) | reach[successor]
+            reach[index] = mask
+        for a_pos, a in enumerate(components):
+            for b in components[a_pos + 1:]:
+                ia, ib = comp_index[a], comp_index[b]
+                if not (reach[ia] >> ib) & 1 and not (reach[ib] >> ia) & 1:
+                    sample_a = min(comp_members[ia])
+                    sample_b = min(comp_members[ib])
+                    violations.append(
+                        Violation(
+                            checker="epaxos_conflict_ordering",
+                            message=(
+                                f"conflicting executed instances {sample_a} and "
+                                f"{sample_b} on key {key!r} have no dependency "
+                                f"path between them (lost conflict edge)"
+                            ),
+                        )
+                    )
+    return violations
+
+
+#: All EPaxos-specific checks, in the order the scenario runner applies them.
+EPAXOS_CHECKS = (
+    check_epaxos_instance_agreement,
+    check_epaxos_execution_order,
+    check_epaxos_execution_consistency,
+    check_epaxos_conflict_ordering,
+)
+
+
+def run_epaxos_checks(cluster) -> List[Violation]:
+    """Run every EPaxos invariant check and concatenate the violations."""
+    violations: List[Violation] = []
+    for check in EPAXOS_CHECKS:
         violations.extend(check(cluster))
     return violations

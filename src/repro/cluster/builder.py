@@ -306,7 +306,19 @@ class ClusterBuilder:
                 config.use_region_groups = True
             return PigPaxosReplica(config=config, region_of=topology.region_map())
         if self._protocol == "epaxos":
-            return EPaxosReplica()
+            config = self._protocol_config
+            if config is None:
+                return EPaxosReplica()
+            # EPaxos consumes only the shared session_window knob; reject a
+            # config that sets anything else rather than silently ignore it.
+            if type(config) is not ProtocolConfig or config != ProtocolConfig(
+                session_window=config.session_window
+            ):
+                raise ConfigurationError(
+                    "epaxos only consumes ProtocolConfig.session_window; "
+                    "other protocol-config fields would be silently ignored"
+                )
+            return EPaxosReplica(session_window=config.session_window)
         raise ConfigurationError(f"unknown protocol {self._protocol!r}")
 
 

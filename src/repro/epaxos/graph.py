@@ -52,6 +52,19 @@ class DependencyGraph:
     def executed_count(self) -> int:
         return len(self._executed)
 
+    # ---------------------------------------------------------- introspection
+    def deps_of(self, instance: InstanceId) -> FrozenSet[InstanceId]:
+        """The committed dependency set of ``instance`` (empty if unknown)."""
+        return self._deps.get(instance, frozenset())
+
+    def seq_of(self, instance: InstanceId) -> int:
+        """The committed sequence number of ``instance`` (0 if unknown)."""
+        return self._seq.get(instance, 0)
+
+    def committed_instances(self) -> FrozenSet[InstanceId]:
+        """All instances this graph has seen commit (used by the checkers)."""
+        return frozenset(self._committed)
+
     # ------------------------------------------------------------------ planning
     def execution_order(self, root: InstanceId) -> Tuple[List[InstanceId], int]:
         """Plan an execution order for ``root``.

@@ -13,9 +13,18 @@ at the level of detail the paper's comparison needs:
 * commits are broadcast to everyone and executed by walking the dependency
   graph (SCCs, sequence-number order).
 
+Robustness under the adversarial harness (duplicated, dropped and reordered
+messages; crashed nodes): PreAccept/Accept replies are deduplicated per
+voter, the per-key conflict index is updated monotonically so stale
+redeliveries cannot drop dependency edges, and execution is at-most-once per
+client session (a retried command that lands in a second instance applies
+once and answers from the cached result).
+
 Simplifications relative to the full protocol (documented in DESIGN.md):
 explicit failure recovery of instances (the "explicit prepare" path) is not
-implemented because the paper's EPaxos experiments run without node failures.
+implemented because the paper's EPaxos experiments run without node failures;
+a crash therefore degrades liveness of instances the dead node led (their
+dependents stay blocked) but never safety.
 """
 
 from __future__ import annotations
@@ -35,8 +44,9 @@ from repro.epaxos.messages import (
 from repro.protocol.base import Replica
 from repro.protocol.messages import ClientReply, ClientRequest
 from repro.quorum.systems import FastQuorum
-from repro.statemachine.command import Command
+from repro.statemachine.command import Command, CommandResult
 from repro.statemachine.kvstore import KVStore
+from repro.statemachine.sessions import DEFAULT_SESSION_WINDOW, ClientSessionCache
 
 _PREACCEPTED = "preaccepted"
 _ACCEPTED = "accepted"
@@ -53,15 +63,17 @@ class _Instance:
     seq: int
     deps: FrozenSet[InstanceId]
     status: str = _PREACCEPTED
-    # Command-leader bookkeeping:
+    # Command-leader bookkeeping.  Votes are tracked as *sets of voter ids*,
+    # never integer counters: the network may retransmit or duplicate a
+    # reply, and a duplicated vote must not fake a quorum.
     leader_here: bool = False
     client_id: Optional[int] = None
     request_id: int = 0
-    preaccept_replies: int = 0
+    preaccept_voters: Set[int] = field(default_factory=set)
     preaccept_changed: bool = False
     merged_seq: int = 0
     merged_deps: FrozenSet[InstanceId] = frozenset()
-    accept_replies: int = 0
+    accept_voters: Set[int] = field(default_factory=set)
 
 
 class EPaxosReplica(Replica):
@@ -69,16 +81,49 @@ class EPaxosReplica(Replica):
 
     protocol_name = "epaxos"
 
-    def __init__(self, quorum: Optional[FastQuorum] = None) -> None:
+    #: Per-key bound on remembered client sessions; far above any plausible
+    #: number of distinct clients concurrently retrying on one key.
+    MAX_CLIENTS_PER_KEY = 1024
+
+    def __init__(
+        self,
+        quorum: Optional[FastQuorum] = None,
+        session_window: int = DEFAULT_SESSION_WINDOW,
+    ) -> None:
         super().__init__()
         self._quorum = quorum
         self.store = KVStore()
         self.instances: Dict[InstanceId, _Instance] = {}
         self.graph = DependencyGraph()
         self._next_instance = 0
-        # Per-key conflict index: key -> latest instance touching that key.
-        self._key_index: Dict[str, InstanceId] = {}
+        # Per-key conflict index: key -> {origin replica -> highest instance
+        # number from that origin touching the key}.  One slot per origin
+        # (the canonical EPaxos dependency shape): a single "latest
+        # instance" pointer cannot represent two conflicting same-seq
+        # instances from different leaders, and whichever it dropped lost
+        # its dependency edge.  Updated monotonically (see
+        # :meth:`_record_key`).
+        self._key_index: Dict[str, Dict[int, int]] = {}
         self._pending_execution: Set[InstanceId] = set()
+        # Client sessions make execution at-most-once: a client retry that
+        # lands on a different opportunistic leader creates a *second*
+        # instance carrying the same command, and both instances commit and
+        # execute everywhere.  The two instances carry the same key, so they
+        # conflict and execute in the same relative order on every replica --
+        # filtering the duplicate at apply time therefore keeps all state
+        # machines identical.  Unlike Multi-Paxos (total order), EPaxos only
+        # orders *conflicting* commands, so every eviction decision must
+        # depend solely on same-key events or it diverges across replicas
+        # (cross-key interleaving legally differs).  Hence one
+        # ClientSessionCache *per key*: both its inner request window and
+        # its outer client LRU are driven only by that key's applies, which
+        # are identically ordered everywhere.  Memory stays proportional to
+        # the store itself: keys x bounded sessions x bounded window.
+        self._session_window = session_window
+        self._client_sessions: Dict[str, ClientSessionCache] = {}
+        # Execution order as applied locally, for the cross-replica
+        # execution-consistency checker (repro.checkers.invariants).
+        self.executed_order: List[InstanceId] = []
 
     # ------------------------------------------------------------------ setup
     @property
@@ -112,16 +157,38 @@ class EPaxosReplica(Replica):
         """Sequence number and dependency set implied by the local key index."""
         deps: Set[InstanceId] = set()
         seq = 1
-        last = self._key_index.get(command.key)
-        if last is not None and last != exclude:
-            deps.add(last)
-            last_instance = self.instances.get(last)
-            if last_instance is not None:
-                seq = max(seq, last_instance.seq + 1)
+        index = self._key_index.get(command.key)
+        if index:
+            for origin, number in index.items():
+                last: InstanceId = (origin, number)
+                if last == exclude:
+                    continue
+                deps.add(last)
+                last_instance = self.instances.get(last)
+                if last_instance is not None:
+                    seq = max(seq, last_instance.seq + 1)
         return seq, frozenset(deps)
 
     def _record_key(self, command: Command, instance: InstanceId) -> None:
-        self._key_index[command.key] = instance
+        """Record ``instance`` as its origin's latest instance on the key.
+
+        Instance numbers from one origin are assigned in creation order, so
+        per origin "highest number" is both the newest instance and the one
+        with the highest sequence number -- which makes the update rule
+        monotonic for free.  Messages can be retransmitted, duplicated or
+        delivered late: a stale PreAccept/Commit for an *old* instance must
+        not overwrite a newer index entry, or every subsequent command on
+        that key silently loses its dependency edge to the newer instance
+        (and can regress its sequence number).
+        """
+        origin, number = instance
+        index = self._key_index.setdefault(command.key, {})
+        current = index.get(origin)
+        if current is not None and current >= number:
+            if current > number:
+                self.count("key_index_stale_updates_skipped")
+            return
+        index[origin] = number
 
     # ------------------------------------------------------------------ command leader path
     def _on_client_request(self, src: int, msg: ClientRequest) -> None:
@@ -154,18 +221,28 @@ class EPaxosReplica(Replica):
         preaccept = EPreAccept(instance=instance_id, command=command, seq=seq, deps=deps)
         self.broadcast(self.peers, preaccept)
 
+    @staticmethod
+    def _register_vote(voters: Set[int], voter: int) -> bool:
+        """Record ``voter``; False when this voter already voted (duplicate)."""
+        if voter in voters:
+            return False
+        voters.add(voter)
+        return True
+
     def _on_preaccept_reply(self, src: int, msg: EPreAcceptReply) -> None:
         instance = self.instances.get(msg.instance)
         if instance is None or not instance.leader_here or instance.status != _PREACCEPTED:
             return
-        instance.preaccept_replies += 1
+        if msg.voter == self.node_id or not self._register_vote(instance.preaccept_voters, msg.voter):
+            self.count("duplicate_preaccept_replies")
+            return
         instance.merged_seq = max(instance.merged_seq, msg.seq)
         instance.merged_deps = instance.merged_deps | msg.deps
         if msg.changed:
             instance.preaccept_changed = True
 
         # +1 accounts for the command leader's own vote.
-        if instance.preaccept_replies + 1 >= self.quorum.fast_path_size:
+        if len(instance.preaccept_voters) + 1 >= self.quorum.fast_path_size:
             if not instance.preaccept_changed:
                 self.count("fast_path_commits")
                 self._commit_instance(instance, instance.seq, instance.deps)
@@ -174,7 +251,7 @@ class EPaxosReplica(Replica):
                 instance.status = _ACCEPTED
                 instance.seq = instance.merged_seq
                 instance.deps = instance.merged_deps
-                instance.accept_replies = 0
+                instance.accept_voters = set()
                 accept = EAccept(
                     instance=instance.instance,
                     command=instance.command,
@@ -189,8 +266,10 @@ class EPaxosReplica(Replica):
             return
         if not msg.ok:
             return
-        instance.accept_replies += 1
-        if instance.accept_replies + 1 >= self.quorum.phase2_size:
+        if msg.voter == self.node_id or not self._register_vote(instance.accept_voters, msg.voter):
+            self.count("duplicate_accept_replies")
+            return
+        if len(instance.accept_voters) + 1 >= self.quorum.phase2_size:
             self._commit_instance(instance, instance.seq, instance.deps)
 
     def _commit_instance(self, instance: _Instance, seq: int, deps: FrozenSet[InstanceId]) -> None:
@@ -285,14 +364,47 @@ class EPaxosReplica(Replica):
         if total_visited:
             self.ctx.charge_graph_work(total_visited)
 
+    def _apply_command(self, command) -> CommandResult:
+        """Apply ``command`` with at-most-once client-session filtering.
+
+        The same client command can be committed in *two instances*: the
+        client retries a timed-out request against a different replica,
+        which becomes a second opportunistic leader for it.  Both instances
+        commit and execute on every replica, but applying the command twice
+        would clobber writes ordered between them.  Duplicate instances
+        carry the same key, so they conflict and execute in the same
+        relative order everywhere -- filtering here keeps all state machines
+        identical, and the cached result lets the duplicate's leader still
+        answer its client correctly.
+        """
+        client_id = getattr(command, "client_id", -1)
+        request_id = getattr(command, "request_id", 0)
+        if client_id is None or client_id < 0 or request_id <= 0:
+            return self.store.apply(command)
+        # Per-key cache: see __init__ for why eviction must be driven by
+        # same-key events only under EPaxos' partial order.
+        sessions = self._client_sessions.get(command.key)
+        if sessions is None:
+            sessions = self._client_sessions[command.key] = ClientSessionCache(
+                window=self._session_window, max_clients=self.MAX_CLIENTS_PER_KEY
+            )
+        cached = sessions.get(client_id, request_id)
+        if cached is not None:
+            self.count("duplicate_commands_skipped")
+            return cached
+        result = self.store.apply(command)
+        sessions.put(client_id, request_id, result)
+        return result
+
     def _execute_instance(self, instance_id: InstanceId) -> None:
         instance = self.instances.get(instance_id)
         if instance is None or instance.status == _EXECUTED:
             return
-        result = self.store.apply(instance.command)
+        result = self._apply_command(instance.command)
         self.ctx.charge_execution(1)
         instance.status = _EXECUTED
         self.graph.mark_executed(instance_id)
+        self.executed_order.append(instance_id)
         self.count("instances_executed")
         if instance.leader_here and instance.client_id is not None:
             reply = ClientReply(
@@ -314,4 +426,5 @@ class EPaxosReplica(Replica):
             "executed": self.graph.executed_count,
             "pending_execution": len(self._pending_execution),
             "kv_size": len(self.store),
+            "sessions": sum(len(cache) for cache in self._client_sessions.values()),
         }

@@ -15,10 +15,13 @@ from typing import Dict, FrozenSet, Iterable, Set, Tuple
 class NetworkFaults:
     """Mutable record of currently active network faults."""
 
-    def __init__(self, drop_probability: float = 0.0) -> None:
+    def __init__(self, drop_probability: float = 0.0, duplicate_probability: float = 0.0) -> None:
         if not 0.0 <= drop_probability < 1.0:
             raise ValueError("drop_probability must be in [0, 1)")
+        if not 0.0 <= duplicate_probability < 1.0:
+            raise ValueError("duplicate_probability must be in [0, 1)")
         self.drop_probability = drop_probability
+        self.duplicate_probability = duplicate_probability
         self._severed: Set[Tuple[int, int]] = set()
         self._partitions: list[FrozenSet[int]] = []
 
@@ -67,10 +70,23 @@ class NetworkFaults:
             return True
         return False
 
+    def should_duplicate(self, src: int, dst: int, rng: random.Random) -> bool:
+        """Decide whether a delivered message is also delivered a second time.
+
+        Models retransmission storms: the duplicate is an extra copy of the
+        same envelope, scheduled with its own latency draw.  Only consulted
+        (and only consuming randomness) when a duplicate storm is active, so
+        runs without duplication keep byte-identical RNG streams.
+        """
+        if self.duplicate_probability <= 0.0:
+            return False
+        return rng.random() < self.duplicate_probability
+
     def active_faults(self) -> Dict[str, object]:
         """Human-readable snapshot (used in test assertions and logs)."""
         return {
             "drop_probability": self.drop_probability,
+            "duplicate_probability": self.duplicate_probability,
             "severed_links": sorted({tuple(sorted(pair)) for pair in self._severed}),
             "partitions": [sorted(group) for group in self._partitions],
         }

@@ -59,6 +59,7 @@ class SimNetwork:
         self._sent_counter = self._metrics.counter("net.messages_sent")
         self._bytes_counter = self._metrics.counter("net.bytes_sent")
         self._dropped_counter = self._metrics.counter("net.messages_dropped")
+        self._duplicated_counter = self._metrics.counter("net.messages_duplicated")
         self._delivered_counter = self._metrics.counter("net.messages_delivered")
         self._undeliverable_counter = self._metrics.counter("net.messages_undeliverable")
         self._kind_counters: Dict[str, object] = {}
@@ -123,6 +124,12 @@ class SimNetwork:
 
         delay = self._delivery_delay(src, dst, size)
         self._sim.schedule(delay, self._deliver, envelope)
+        if self._faults.should_duplicate(src, dst, self._rng):
+            # A retransmitted copy of the same envelope with its own latency
+            # draw; protocols must tolerate it (at-most-once execution,
+            # per-voter reply dedup).
+            self._duplicated_counter.increment()
+            self._sim.schedule(self._delivery_delay(src, dst, size), self._deliver, envelope)
         return envelope
 
     def _delivery_delay(self, src: int, dst: int, size_bytes: int) -> float:

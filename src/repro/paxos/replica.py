@@ -34,6 +34,7 @@ from repro.quorum.tracker import BallotVoteTracker, VoteTracker
 from repro.statemachine.command import NoOp
 from repro.statemachine.kvstore import KVStore
 from repro.statemachine.log import ReplicatedLog
+from repro.statemachine.sessions import ClientSessionCache
 
 
 @dataclass
@@ -67,10 +68,10 @@ class MultiPaxosReplica(Replica):
         self.promised: Ballot = Ballot.zero()
         self.log = ReplicatedLog()
         self.store = KVStore()
-        # Client sessions: applied request ids (with results) per client,
-        # used to make command execution at-most-once (see
-        # :meth:`_apply_command`).  Survives crashes alongside log/store.
-        self._applied_sessions: Dict[int, Dict[int, object]] = {}
+        # Client sessions: a bounded LRU of applied request ids (with
+        # results) per client, used to make command execution at-most-once
+        # (see :meth:`_apply_command`).  Survives crashes alongside log/store.
+        self._client_sessions = ClientSessionCache(window=self.config.session_window)
 
         # Proposer / leader state.
         self.ballot: Ballot = Ballot.zero()
@@ -384,23 +385,24 @@ class MultiPaxosReplica(Replica):
         Every replica executes the same committed prefix, so filtering
         duplicates here keeps all state machines identical.
 
-        Applied ids are tracked as a per-client set (not a high-water mark):
+        Applied ids are tracked per client (not as a high-water mark):
         open-loop clients keep several requests in flight, so a client's
         commands may commit out of request-id order and a mark would drop
-        legitimate first executions.  Bounding the per-client result cache
-        is an open roadmap item.
+        legitimate first executions.  The cache is a bounded LRU window
+        (:class:`~repro.statemachine.sessions.ClientSessionCache`): retries
+        only ever target requests still inside the window, so eviction never
+        breaks the at-most-once guarantee in practice.
         """
         client_id = getattr(command, "client_id", -1)
         request_id = getattr(command, "request_id", 0)
         if client_id is None or client_id < 0 or request_id <= 0:
             return self.store.apply(command)
-        session = self._applied_sessions.setdefault(client_id, {})
-        cached = session.get(request_id)
+        cached = self._client_sessions.get(client_id, request_id)
         if cached is not None:
             self.count("duplicate_commands_skipped")
             return cached
         result = self.store.apply(command)
-        session[request_id] = result
+        self._client_sessions.put(client_id, request_id, result)
         return result
 
     def _execute_ready(self) -> None:

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
+from repro.statemachine.sessions import DEFAULT_SESSION_WINDOW
 
 
 @dataclass
@@ -23,6 +24,9 @@ class ProtocolConfig:
             requesting the missing slots from the leader.
         initial_leader: Node that proactively runs phase-1 at start-up
             (``None`` disables bootstrap and leaves election to timeouts).
+        session_window: Per-client at-most-once dedup window -- how many of
+            a client's most recently applied request results each replica
+            retains (see :mod:`repro.statemachine.sessions`).
     """
 
     heartbeat_interval: float = 0.05
@@ -31,10 +35,13 @@ class ProtocolConfig:
     phase1_timeout: float = 0.25
     fill_gap_timeout: float = 0.1
     initial_leader: int = 0
+    session_window: int = DEFAULT_SESSION_WINDOW
 
     def __post_init__(self) -> None:
         if self.heartbeat_interval <= 0:
             raise ConfigurationError("heartbeat_interval must be positive")
+        if self.session_window < 1:
+            raise ConfigurationError("session_window must be >= 1")
         if self.election_timeout_min <= 0 or self.election_timeout_max < self.election_timeout_min:
             raise ConfigurationError("invalid election timeout range")
         if self.election_timeout_min <= self.heartbeat_interval:

@@ -26,7 +26,12 @@ Or from the command line::
     PYTHONPATH=src python -m repro.scenarios --smoke
 """
 
-from repro.scenarios.library import SMOKE_SCENARIOS, all_scenarios, get_scenario
+from repro.scenarios.library import (
+    SMOKE_SCENARIOS,
+    all_scenarios,
+    get_scenario,
+    scenarios_for_protocol,
+)
 from repro.scenarios.runner import ScenarioResult, ScenarioRunner, run_scenario
 from repro.scenarios.spec import Scenario, ScenarioEvent
 
@@ -39,4 +44,5 @@ __all__ = [
     "all_scenarios",
     "get_scenario",
     "run_scenario",
+    "scenarios_for_protocol",
 ]

@@ -4,10 +4,12 @@ Used by CI for smoke runs and by developers to replay a scenario::
 
     PYTHONPATH=src python -m repro.scenarios --list
     PYTHONPATH=src python -m repro.scenarios --run pig-baseline-5 [--seed 7]
-    PYTHONPATH=src python -m repro.scenarios --all
+    PYTHONPATH=src python -m repro.scenarios --all [--protocol epaxos]
     PYTHONPATH=src python -m repro.scenarios --smoke
 
-Exit status is non-zero when any checker reports a violation.
+``--protocol`` filters ``--list``/``--all``/``--smoke`` to one protocol so a
+protocol-specific sweep is one flag.  Exit status is non-zero when any
+checker reports a violation.
 """
 
 from __future__ import annotations
@@ -16,7 +18,13 @@ import argparse
 import sys
 from dataclasses import replace
 
-from repro.scenarios.library import SMOKE_SCENARIOS, all_scenarios, get_scenario
+from repro.cluster.builder import PROTOCOLS
+from repro.scenarios.library import (
+    SMOKE_SCENARIOS,
+    all_scenarios,
+    get_scenario,
+    scenarios_for_protocol,
+)
 from repro.scenarios.runner import run_scenario
 
 
@@ -39,11 +47,19 @@ def main(argv=None) -> int:
     group.add_argument("--all", action="store_true", help="run every canned scenario")
     group.add_argument("--smoke", action="store_true", help="run the CI smoke subset")
     parser.add_argument("--seed", type=int, default=None, help="override the scenario seed")
+    parser.add_argument(
+        "--protocol", choices=PROTOCOLS, default=None,
+        help="restrict --list/--all/--smoke to one protocol's scenarios",
+    )
     args = parser.parse_args(argv)
 
+    selected = (
+        scenarios_for_protocol(args.protocol) if args.protocol else all_scenarios()
+    )
+
     if args.list:
-        for name, scenario in sorted(all_scenarios().items()):
-            print(f"{name:36s} {scenario.description}")
+        for name, scenario in sorted(selected.items()):
+            print(f"{name:36s} [{scenario.protocol}] {scenario.description}")
         return 0
 
     if args.run:
@@ -52,11 +68,23 @@ def main(argv=None) -> int:
         except KeyError as exc:
             print(f"error: {exc.args[0]}", file=sys.stderr)
             return 2
+        if args.protocol is not None and scenario.protocol != args.protocol:
+            print(
+                f"error: scenario {args.run!r} is protocol "
+                f"{scenario.protocol!r}, not {args.protocol!r}",
+                file=sys.stderr,
+            )
+            return 2
         if args.seed is not None:
             scenario = replace(scenario, seed=args.seed)
         return 0 if _run_one(scenario) else 1
 
-    names = SMOKE_SCENARIOS if args.smoke else sorted(all_scenarios())
+    names = SMOKE_SCENARIOS if args.smoke else sorted(selected)
+    names = [name for name in names if name in selected]
+    if not names:
+        subset = "smoke scenarios" if args.smoke else "scenarios"
+        print(f"error: no {subset} for protocol {args.protocol!r}", file=sys.stderr)
+        return 2
     ok = True
     for name in names:
         scenario = get_scenario(name)

@@ -1,13 +1,18 @@
 """The canned scenario library.
 
-Roughly ten ready-to-run adversarial scenarios spanning the paper's
-deployments (5/9/25-node LAN, three-region WAN) and the failure modes the
-relay/aggregate overlay must survive: leader crashes mid-round, relays
-crashing out from under an open round, majority/minority partitions,
-message-drop storms that force relay timeouts, and continuous relay-group
-churn.  Each scenario runs with the linearizability and log-invariant
-checkers enabled, so ``run_scenario(s).raise_on_violations()`` is a
-one-line whole-stack safety test.
+Adversarial scenarios spanning the paper's deployments (5/9/25-node LAN,
+three-region WAN) and the failure modes each protocol must survive.  For
+the Paxos family: leader crashes mid-round, relays crashing out from under
+an open round, majority/minority partitions, message-drop storms that force
+relay timeouts, and continuous relay-group churn.  For EPaxos: hot-key
+contention storms (the paper's worst case for dependency tracking), drop
+storms, node crashes (which, without the explicit-prepare recovery path,
+degrade liveness of orphaned instances but must never break safety),
+partitions, and duplicate-delivery torture (retransmission storms that bite
+on any reply-counting bug).  Each scenario runs with the linearizability
+checker plus its protocol's invariant family enabled, so
+``run_scenario(s).raise_on_violations()`` is a one-line whole-stack safety
+test.
 
 Both ``tests/test_scenarios.py`` and ``benchmarks/bench_scenarios.py``
 iterate this library; add new scenarios here and both pick them up.
@@ -18,6 +23,14 @@ from __future__ import annotations
 from typing import Dict, List
 
 from repro.scenarios.spec import Scenario, ScenarioEvent as E
+from repro.workload.spec import WorkloadSpec
+
+#: Check-family *names* every EPaxos scenario enables (distinct from the
+#: checker-function tuple ``repro.checkers.invariants.EPAXOS_CHECKS``): the
+#: slot-based log checks do not apply (and skip themselves), but quorum
+#: sanity still does; the instance/dependency-graph checks are the EPaxos
+#: equivalents.
+EPAXOS_CHECK_NAMES = ("linearizability", "log_invariants", "epaxos_invariants")
 
 
 def _scenarios() -> List[Scenario]:
@@ -165,6 +178,85 @@ def _scenarios() -> List[Scenario]:
             drop_probability=0.05,
             description="Every message faces 5% loss for the whole run.",
         ),
+        # ------------------------------------------------------------ EPaxos
+        Scenario(
+            name="epaxos-baseline-5",
+            protocol="epaxos",
+            num_nodes=5,
+            num_clients=4,
+            duration=1.5,
+            seed=11,
+            checks=EPAXOS_CHECK_NAMES,
+            description="Fault-free 5-node EPaxos control run, every client a leader.",
+        ),
+        Scenario(
+            name="epaxos-hot-key-storm",
+            protocol="epaxos",
+            num_nodes=5,
+            num_clients=6,
+            duration=1.5,
+            seed=37,
+            workload=WorkloadSpec.checking_default(num_keys=3),
+            checks=EPAXOS_CHECK_NAMES,
+            description="Three hot keys, six leaders: maximal conflict rate and dependency churn.",
+        ),
+        Scenario(
+            name="epaxos-drop-storm",
+            protocol="epaxos",
+            num_nodes=5,
+            num_clients=4,
+            duration=2.0,
+            seed=41,
+            client_timeout=0.4,
+            checks=EPAXOS_CHECK_NAMES,
+            events=(
+                E.set_drop(0.4, probability=0.25),
+                E.set_drop(1.2, probability=0.0),
+            ),
+            description="A lossy window strands instances mid-round; retries spawn duplicate instances.",
+        ),
+        Scenario(
+            name="epaxos-crash-degraded",
+            protocol="epaxos",
+            num_nodes=5,
+            num_clients=4,
+            duration=2.0,
+            seed=43,
+            client_timeout=0.4,
+            checks=EPAXOS_CHECK_NAMES,
+            events=(E.crash(0.5, node=4),),
+            description="A leader dies for good; without explicit prepare its orphans stay blocked, safely.",
+        ),
+        Scenario(
+            name="epaxos-partition-heal",
+            protocol="epaxos",
+            num_nodes=5,
+            num_clients=4,
+            duration=2.2,
+            seed=47,
+            client_timeout=0.4,
+            checks=EPAXOS_CHECK_NAMES,
+            events=(
+                E.partition(0.5, (0, 1, 2), (3, 4)),
+                E.heal_partition(1.4),
+            ),
+            description="A minority is cut off; its instances stall while the majority commits, then heals.",
+        ),
+        Scenario(
+            name="epaxos-duplicate-torture",
+            protocol="epaxos",
+            num_nodes=5,
+            num_clients=5,
+            duration=1.8,
+            seed=53,
+            workload=WorkloadSpec.checking_default(num_keys=4),
+            checks=EPAXOS_CHECK_NAMES,
+            events=(
+                E.duplicate_storm(0.2, probability=0.35),
+                E.duplicate_storm(1.4, probability=0.0),
+            ),
+            description="35% of messages delivered twice: retransmission torture for reply accounting.",
+        ),
     ]
 
 
@@ -182,5 +274,20 @@ def get_scenario(name: str) -> Scenario:
     return scenarios[name]
 
 
-#: A small subset used by CI smoke runs and quick local checks.
-SMOKE_SCENARIOS = ("pig-baseline-5", "pig-crash-follower")
+def scenarios_for_protocol(protocol: str) -> Dict[str, Scenario]:
+    """Name -> scenario restricted to one protocol (CLI ``--protocol``)."""
+    return {
+        name: scenario
+        for name, scenario in all_scenarios().items()
+        if scenario.protocol == protocol
+    }
+
+
+#: A small subset used by CI smoke runs and quick local checks.  CI runs
+#: the full EPaxos sweep in a separate step, so smoke carries only the
+#: fast EPaxos baseline.
+SMOKE_SCENARIOS = (
+    "pig-baseline-5",
+    "pig-crash-follower",
+    "epaxos-baseline-5",
+)

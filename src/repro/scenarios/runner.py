@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.checkers.history import History, HistoryRecorder
-from repro.checkers.invariants import Violation, run_log_checks
+from repro.checkers.invariants import Violation, run_epaxos_checks, run_log_checks
 from repro.checkers.linearizability import check_linearizability
 from repro.cluster.builder import Cluster, ClusterBuilder
 from repro.cluster.faults import FaultEvent, FaultKind
@@ -121,6 +121,10 @@ class ScenarioRunner:
             return PigPaxosConfig(**overrides)
         if self.scenario.protocol == "paxos":
             return ProtocolConfig(**overrides)
+        if self.scenario.protocol == "epaxos":
+            # EPaxos only consumes the shared session_window knob; the
+            # builder rejects a config carrying anything else.
+            return ProtocolConfig(**overrides) if overrides else None
         if overrides:
             raise ConfigurationError(
                 f"protocol {self.scenario.protocol!r} takes no config overrides"
@@ -152,6 +156,8 @@ class ScenarioRunner:
         history = self._recorder.history()
         if "log_invariants" in self.scenario.checks:
             violations.extend(run_log_checks(cluster))
+        if "epaxos_invariants" in self.scenario.checks:
+            violations.extend(run_epaxos_checks(cluster))
         if "linearizability" in self.scenario.checks:
             violations.extend(check_linearizability(history))
 
@@ -221,6 +227,8 @@ class ScenarioRunner:
                     replica.reshuffle_groups()
         elif action == "set_drop":
             cluster.network.faults.drop_probability = event.probability
+        elif action == "duplicate_storm":
+            cluster.network.faults.duplicate_probability = event.probability
         fired.append(label)
 
 

@@ -44,10 +44,11 @@ EVENT_ACTIONS = (
     "sluggish",
     "reshuffle_relays",
     "set_drop",
+    "duplicate_storm",
 )
 
 #: Checker names accepted by ``Scenario.checks``.
-CHECK_NAMES = ("linearizability", "log_invariants")
+CHECK_NAMES = ("linearizability", "log_invariants", "epaxos_invariants")
 
 
 @dataclass(frozen=True)
@@ -75,10 +76,10 @@ class ScenarioEvent:
             raise ConfigurationError(f"action {self.action!r} needs node and peer")
         if self.action == "partition" and not self.groups:
             raise ConfigurationError("partition needs at least one group")
-        if self.action == "set_drop" and not 0.0 <= self.probability < 1.0:
+        if self.action in ("set_drop", "duplicate_storm") and not 0.0 <= self.probability < 1.0:
             # Same invariant the NetworkFaults constructor enforces; the
             # runner assigns the live fault object directly.
-            raise ConfigurationError("set_drop probability must be in [0, 1)")
+            raise ConfigurationError(f"{self.action} probability must be in [0, 1)")
         if self.action == "sluggish" and self.factor <= 0:
             raise ConfigurationError("sluggish factor must be positive")
 
@@ -132,6 +133,17 @@ class ScenarioEvent:
     def set_drop(at: float, probability: float) -> "ScenarioEvent":
         """Rewrite the network-wide message drop probability."""
         return ScenarioEvent(at=at, action="set_drop", probability=probability)
+
+    @staticmethod
+    def duplicate_storm(at: float, probability: float) -> "ScenarioEvent":
+        """Rewrite the network-wide duplicate-delivery probability.
+
+        While active, every delivered message is re-delivered a second time
+        with probability ``probability`` (its own latency draw, so copies
+        reorder).  Retransmission torture for reply-accounting bugs; end the
+        storm with a second event at probability 0.
+        """
+        return ScenarioEvent(at=at, action="duplicate_storm", probability=probability)
 
 
 @dataclass(frozen=True)

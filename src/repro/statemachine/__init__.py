@@ -9,9 +9,11 @@ through the same :class:`~repro.statemachine.command.Command` type.
 from repro.statemachine.command import Command, CommandResult, OpType
 from repro.statemachine.kvstore import KVStore
 from repro.statemachine.log import LogEntry, ReplicatedLog
+from repro.statemachine.sessions import ClientSessionCache
 from repro.statemachine.snapshot import Snapshot
 
 __all__ = [
+    "ClientSessionCache",
     "Command",
     "CommandResult",
     "OpType",

@@ -252,3 +252,178 @@ class TestLogInvariants:
         wrong_n = SimpleNamespace(n=5, phase1_size=3, phase2_size=3)
         violations = check_quorum_sanity(_FakeCluster([_replica(wrong_n)]))
         assert violations and "n=5" in violations[0].message
+
+
+# --------------------------------------------------------------------------
+# EPaxos invariants on hand-built replica states.
+# --------------------------------------------------------------------------
+
+from repro.checkers.invariants import (  # noqa: E402
+    check_epaxos_conflict_ordering,
+    check_epaxos_execution_consistency,
+    check_epaxos_execution_order,
+    check_epaxos_instance_agreement,
+)
+from repro.epaxos.graph import DependencyGraph  # noqa: E402
+
+
+def _einstance(instance, command, seq, deps, status="executed"):
+    return SimpleNamespace(
+        instance=instance, command=command, seq=seq, deps=frozenset(deps), status=status
+    )
+
+
+def _ereplica(instances, executed_order):
+    """A fake EPaxos replica: instances dict + graph + executed order."""
+    graph = DependencyGraph()
+    for instance in instances.values():
+        if instance.status in ("committed", "executed"):
+            graph.add_committed(instance.instance, instance.seq, frozenset(instance.deps))
+    for instance_id in executed_order:
+        graph.mark_executed(instance_id)
+    return SimpleNamespace(instances=instances, graph=graph, executed_order=list(executed_order))
+
+
+class TestEPaxosInvariants:
+    def test_agreeing_replicas_pass_all_checks(self):
+        first, second = _put("a"), _put("a")
+        layout = {
+            (0, 1): ((), 1, first),
+            (1, 1): (((0, 1),), 2, second),
+        }
+        replicas = []
+        for _ in range(2):
+            instances = {
+                iid: _einstance(iid, cmd, seq, deps)
+                for iid, (deps, seq, cmd) in layout.items()
+            }
+            replicas.append(_ereplica(instances, [(0, 1), (1, 1)]))
+        cluster = _FakeCluster(replicas)
+        assert check_epaxos_instance_agreement(cluster) == []
+        assert check_epaxos_execution_order(cluster) == []
+        assert check_epaxos_execution_consistency(cluster) == []
+        assert check_epaxos_conflict_ordering(cluster) == []
+
+    def test_seq_disagreement_is_flagged(self):
+        command = _put("a")
+        a = _ereplica({(0, 1): _einstance((0, 1), command, 1, ())}, [(0, 1)])
+        b = _ereplica({(0, 1): _einstance((0, 1), command, 2, ())}, [(0, 1)])
+        violations = check_epaxos_instance_agreement(_FakeCluster([a, b]))
+        assert violations and violations[0].checker == "epaxos_instance_agreement"
+
+    def test_deps_disagreement_is_flagged(self):
+        command = _put("a")
+        a = _ereplica({(0, 1): _einstance((0, 1), command, 1, ())}, [])
+        b = _ereplica({(0, 1): _einstance((0, 1), command, 1, {(4, 2)})}, [])
+        violations = check_epaxos_instance_agreement(_FakeCluster([a, b]))
+        assert violations and "deps" in violations[0].message
+
+    def test_execution_before_dependency_is_flagged(self):
+        first, second = _put("a"), _put("a")
+        instances = {
+            (0, 1): _einstance((0, 1), first, 1, ()),
+            (1, 1): _einstance((1, 1), second, 2, {(0, 1)}),
+        }
+        replica = _ereplica(instances, [(1, 1), (0, 1)])  # dependent first!
+        violations = check_epaxos_execution_order(_FakeCluster([replica]))
+        assert violations and violations[0].checker == "epaxos_execution_order"
+        assert "before its dependency" in violations[0].message
+
+    def test_cycle_members_may_execute_in_seq_order(self):
+        """Mutual dependencies (one SCC) execute as a batch: no violation."""
+        first, second = _put("a"), _put("a")
+        instances = {
+            (0, 1): _einstance((0, 1), first, 1, {(1, 1)}),
+            (1, 1): _einstance((1, 1), second, 2, {(0, 1)}),
+        }
+        replica = _ereplica(instances, [(0, 1), (1, 1)])
+        assert check_epaxos_execution_order(_FakeCluster([replica])) == []
+
+    def test_cycle_executed_out_of_seq_order_is_flagged(self):
+        """The cycle tie-break is (seq, id); id-only ordering is a planner
+        bug even when every replica does it identically."""
+        first, second = _put("a"), _put("a")
+        instances = {
+            (0, 1): _einstance((0, 1), first, 2, {(1, 1)}),   # higher seq...
+            (1, 1): _einstance((1, 1), second, 1, {(0, 1)}),  # ...runs second
+        }
+        replica = _ereplica(instances, [(0, 1), (1, 1)])  # id order, not seq
+        violations = check_epaxos_execution_order(_FakeCluster([replica]))
+        assert violations and "out of (seq, id) order" in violations[0].message
+
+    def test_executed_with_unexecuted_dependency_is_flagged(self):
+        first, second = _put("a"), _put("a")
+        instances = {
+            (0, 1): _einstance((0, 1), first, 1, (), status="committed"),
+            (1, 1): _einstance((1, 1), second, 2, {(0, 1)}),
+        }
+        replica = _ereplica(instances, [(1, 1)])
+        violations = check_epaxos_execution_order(_FakeCluster([replica]))
+        assert violations and "never executed" in violations[0].message
+
+    def test_double_execution_is_flagged(self):
+        command = _put("a")
+        instances = {(0, 1): _einstance((0, 1), command, 1, ())}
+        replica = _ereplica(instances, [(0, 1), (0, 1)])
+        violations = check_epaxos_execution_order(_FakeCluster([replica]))
+        assert violations and "more than once" in violations[0].message
+
+    def test_cross_replica_order_divergence_is_flagged(self):
+        first, second = _put("a"), _put("a")
+        instances = {
+            (0, 1): _einstance((0, 1), first, 1, ()),
+            (1, 1): _einstance((1, 1), second, 1, ()),
+        }
+        a = _ereplica(dict(instances), [(0, 1), (1, 1)])
+        b = _ereplica(dict(instances), [(1, 1), (0, 1)])
+        violations = check_epaxos_execution_consistency(_FakeCluster([a, b]))
+        assert violations and violations[0].checker == "epaxos_execution_consistency"
+
+    def test_shorter_execution_prefix_is_not_divergence(self):
+        """A replica that missed late commits executes a prefix, not a fork."""
+        first, second = _put("a"), _put("a")
+        instances = {
+            (0, 1): _einstance((0, 1), first, 1, ()),
+            (1, 1): _einstance((1, 1), second, 2, {(0, 1)}),
+        }
+        a = _ereplica(dict(instances), [(0, 1), (1, 1)])
+        b = _ereplica({(0, 1): instances[(0, 1)]}, [(0, 1)])
+        assert check_epaxos_execution_consistency(_FakeCluster([a, b])) == []
+
+    def test_conflicting_instances_without_path_are_flagged(self):
+        """Two executed same-key instances with no dependency path: the
+        exact state a reply-accounting bug produces."""
+        first, second = _put("a"), _put("a")
+        instances = {
+            (0, 1): _einstance((0, 1), first, 1, ()),
+            (1, 1): _einstance((1, 1), second, 1, ()),  # no edge either way
+        }
+        replica = _ereplica(instances, [(0, 1), (1, 1)])
+        violations = check_epaxos_conflict_ordering(_FakeCluster([replica]))
+        assert violations and violations[0].checker == "epaxos_conflict_ordering"
+        assert "no dependency path" in violations[0].message
+
+    def test_transitive_path_satisfies_conflict_ordering(self):
+        a_cmd, b_cmd, c_cmd = _put("a"), _put("a"), _put("a")
+        instances = {
+            (0, 1): _einstance((0, 1), a_cmd, 1, ()),
+            (1, 1): _einstance((1, 1), b_cmd, 2, {(0, 1)}),
+            (2, 1): _einstance((2, 1), c_cmd, 3, {(1, 1)}),
+        }
+        replica = _ereplica(instances, [(0, 1), (1, 1), (2, 1)])
+        assert check_epaxos_conflict_ordering(_FakeCluster([replica])) == []
+
+    def test_different_keys_never_need_ordering(self):
+        instances = {
+            (0, 1): _einstance((0, 1), _put("a"), 1, ()),
+            (1, 1): _einstance((1, 1), _put("b"), 1, ()),
+        }
+        replica = _ereplica(instances, [(0, 1), (1, 1)])
+        assert check_epaxos_conflict_ordering(_FakeCluster([replica])) == []
+
+    def test_paxos_cluster_is_skipped_by_epaxos_checks(self):
+        cluster = _FakeCluster([_replica(), _replica()])
+        assert check_epaxos_instance_agreement(cluster) == []
+        assert check_epaxos_execution_order(cluster) == []
+        assert check_epaxos_execution_consistency(cluster) == []
+        assert check_epaxos_conflict_ordering(cluster) == []

@@ -221,3 +221,29 @@ class TestBuilder:
         second = build_cluster(protocol="paxos", num_nodes=5, num_clients=5, seed=9)
         second.run(0.3)
         assert first.total_completed_requests() == second.total_completed_requests()
+
+
+class TestSessionWindowWiring:
+    def test_session_window_reaches_both_protocols(self):
+        from repro.protocol.config import ProtocolConfig
+
+        config = ProtocolConfig(session_window=4)
+        paxos = build_cluster(protocol="paxos", num_nodes=3, num_clients=1, protocol_config=config)
+        assert paxos.nodes[0].replica._client_sessions.window == 4
+        epaxos = build_cluster(protocol="epaxos", num_nodes=3, num_clients=1, protocol_config=config)
+        assert epaxos.nodes[0].replica._session_window == 4
+
+    def test_epaxos_without_config_uses_default_window(self):
+        from repro.statemachine.sessions import DEFAULT_SESSION_WINDOW
+
+        cluster = build_cluster(protocol="epaxos", num_nodes=3, num_clients=1)
+        assert cluster.nodes[0].replica._session_window == DEFAULT_SESSION_WINDOW
+
+    def test_epaxos_rejects_non_session_config_fields(self):
+        from repro.protocol.config import ProtocolConfig
+
+        with pytest.raises(ConfigurationError):
+            build_cluster(
+                protocol="epaxos", num_nodes=3, num_clients=1,
+                protocol_config=ProtocolConfig(heartbeat_interval=0.2),
+            )

@@ -315,6 +315,34 @@ class TestAtMostOnceExecution:
         assert replica.store.get("k") == "v2"
         assert ctx.metrics.counter("paxos.duplicate_commands_skipped").value == 0
 
+    def test_session_cache_is_bounded_and_keeps_in_window_dedup(self):
+        """The dedup cache evicts beyond the window but still suppresses
+        re-execution of any request whose entry is inside the window."""
+        ctx = FakeContext(node_id=0, all_nodes=list(range(5)))
+        replica = MultiPaxosReplica(config=ProtocolConfig(initial_leader=0, session_window=2))
+        replica.bind(ctx)
+        elect(replica, ctx)
+        ballot = replica.ballot
+        commands = [
+            Command(op=OpType.PUT, key="k", value=f"v{i}", client_id=1000, request_id=i)
+            for i in (1, 2, 3)
+        ]
+        for slot, command in enumerate(commands, start=1):
+            replica.on_message(1000, ClientRequest(command=command))
+            for voter in (1, 2):
+                replica.on_message(voter, P2b(ballot=ballot, slot=slot, voter=voter, ok=True))
+        # Window is 2: request 1 was evicted, requests 2 and 3 remain.
+        assert replica._client_sessions.session_size(1000) == 2
+        assert replica._client_sessions.evictions == 1
+        assert replica._client_sessions.get(1000, 1) is None
+
+        # An in-window retry (request 3) recommits but must not re-apply.
+        replica.on_message(1000, ClientRequest(command=commands[2]))
+        for voter in (1, 2):
+            replica.on_message(voter, P2b(ballot=ballot, slot=4, voter=voter, ok=True))
+        assert replica.store.get("k") == "v3"
+        assert ctx.metrics.counter("paxos.duplicate_commands_skipped").value == 1
+
 
 class TestRecoveryCommitFrontier:
     """A new leader must treat the quorum's committed frontier as decided.

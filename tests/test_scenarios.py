@@ -17,6 +17,7 @@ from repro.scenarios import (
     all_scenarios,
     get_scenario,
     run_scenario,
+    scenarios_for_protocol,
 )
 from repro.sim.engine import Simulator
 
@@ -27,7 +28,13 @@ class TestCannedScenarios:
     @pytest.mark.parametrize("name", CANNED)
     def test_scenario_passes_all_checkers(self, name):
         scenario = get_scenario(name)
-        assert set(scenario.checks) == {"linearizability", "log_invariants"}
+        expected = {"linearizability", "log_invariants"}
+        if scenario.protocol == "epaxos":
+            # EPaxos has no slot log; it runs the instance/dependency-graph
+            # invariant family on top (log checks skip themselves but the
+            # quorum sanity check still applies).
+            expected.add("epaxos_invariants")
+        assert set(scenario.checks) == expected
         result = run_scenario(scenario)
         result.raise_on_violations()
         assert result.ok
@@ -35,8 +42,12 @@ class TestCannedScenarios:
         assert len(result.history) >= result.completed_requests
 
     def test_library_is_large_enough(self):
-        # The acceptance bar: at least 8 canned adversarial scenarios.
-        assert len(CANNED) >= 8
+        # The acceptance bar: at least 8 canned adversarial scenarios for
+        # the Paxos family plus at least 5 for EPaxos.
+        assert len(CANNED) >= 13
+        epaxos = scenarios_for_protocol("epaxos")
+        assert len(epaxos) >= 5
+        assert all(s.protocol == "epaxos" for s in epaxos.values())
 
     def test_fault_scenarios_actually_fire_faults(self):
         result = run_scenario(get_scenario("pig-crash-leader-during-round"))
@@ -52,6 +63,46 @@ class TestCannedScenarios:
         counters = result.counters()
         assert counters.get("pigpaxos.relay_timeouts", 0) >= 1
         assert counters.get("net.messages_dropped", 0) >= 1
+
+
+class TestEPaxosScenarios:
+    def test_duplicate_torture_actually_duplicates(self):
+        result = run_scenario(get_scenario("epaxos-duplicate-torture"))
+        counters = result.counters()
+        assert counters.get("net.messages_duplicated", 0) >= 100
+        # The replicas saw (and ignored) retransmitted votes.
+        duplicate_votes = sum(
+            value for name, value in counters.items()
+            if name.startswith("epaxos.duplicate_") and name.endswith("_replies")
+        )
+        assert duplicate_votes >= 1
+
+    def test_hot_key_storm_is_contended(self):
+        result = run_scenario(get_scenario("epaxos-hot-key-storm"))
+        counters = result.counters()
+        # Contention shows up as slow-path rounds (changed PreAccept replies).
+        assert counters.get("epaxos.slow_path_rounds", 0) >= 1
+        assert counters.get("epaxos.fast_path_commits", 0) >= 1
+
+    def test_crash_scenario_degrades_but_stays_safe(self):
+        result = run_scenario(get_scenario("epaxos-crash-degraded"))
+        assert result.counters().get("faults.crashes", 0) >= 1
+        assert result.ok
+
+    def test_retries_are_deduplicated_not_reapplied(self):
+        """Client retries under drops land in fresh instances; the session
+        filter must be what keeps the run linearizable."""
+        result = run_scenario(get_scenario("epaxos-drop-storm"))
+        assert result.counters().get("epaxos.duplicate_commands_skipped", 0) >= 1
+
+    @pytest.mark.parametrize("name", ["epaxos-hot-key-storm", "epaxos-duplicate-torture"])
+    def test_epaxos_scenarios_are_deterministic(self, name):
+        scenario = get_scenario(name)
+        first = run_scenario(scenario)
+        second = run_scenario(scenario)
+        assert first.fingerprint() == second.fingerprint()
+        assert first.counters() == second.counters()
+        assert first.events_processed == second.events_processed
 
 
 class TestMutationsAreCaught:
@@ -77,6 +128,64 @@ class TestMutationsAreCaught:
         assert original is not None
         result = run_scenario(get_scenario("pig-partition-leader-minority"))
         assert not result.ok
+
+    def test_epaxos_vote_dedup_mutation_is_caught(self, monkeypatch):
+        """Re-seed the pre-fix bug: every delivered PreAccept/Accept reply
+        counts as a fresh vote, so retransmissions prematurely satisfy the
+        fast-path quorum and conflict edges are lost.  The EPaxos checkers
+        must see it under the duplicate-delivery storm."""
+        from repro.epaxos.replica import EPaxosReplica
+
+        def count_every_delivery(voters, voter):
+            voters.add((voter, len(voters)))  # duplicates look distinct
+            return True
+
+        monkeypatch.setattr(
+            EPaxosReplica, "_register_vote", staticmethod(count_every_delivery)
+        )
+        result = run_scenario(get_scenario("epaxos-duplicate-torture"))
+        assert not result.ok
+        checkers = {violation.checker for violation in result.violations}
+        assert checkers & {
+            "epaxos_conflict_ordering",
+            "epaxos_execution_consistency",
+            "epaxos_execution_order",
+            "linearizability",
+        }
+
+    def test_epaxos_key_index_mutation_is_caught(self, monkeypatch):
+        """Re-seed the pre-fix key index: a single last-writer-wins slot per
+        key (instead of one per origin replica) silently drops dependency
+        edges under contention; replicas then execute conflicting commands
+        in different orders."""
+        from repro.epaxos.replica import EPaxosReplica
+
+        def last_writer_wins(self, command, instance):
+            self._key_index[command.key] = {instance[0]: instance[1]}
+
+        monkeypatch.setattr(EPaxosReplica, "_record_key", last_writer_wins)
+        result = run_scenario(get_scenario("epaxos-hot-key-storm"))
+        assert not result.ok
+        checkers = {violation.checker for violation in result.violations}
+        assert "epaxos_execution_consistency" in checkers or "epaxos_conflict_ordering" in checkers
+
+    def test_epaxos_planner_order_mutation_is_caught(self, monkeypatch):
+        """A planner that drops the (seq, id) cycle tie-break (sorting by
+        instance id alone) executes cycles in the wrong deterministic order;
+        the execution-order checker must flag it."""
+        from repro.epaxos.graph import DependencyGraph
+
+        original = DependencyGraph.execution_order
+
+        def id_sorted(self, root):
+            order, visited = original(self, root)
+            return sorted(order), visited
+
+        monkeypatch.setattr(DependencyGraph, "execution_order", id_sorted)
+        result = run_scenario(get_scenario("epaxos-hot-key-storm"))
+        assert not result.ok
+        checkers = {violation.checker for violation in result.violations}
+        assert "epaxos_execution_order" in checkers
 
 
 class TestDeterminism:
@@ -148,9 +257,30 @@ class TestScenarioSpecValidation:
         with pytest.raises(ConfigurationError):
             ScenarioEvent.set_drop(0.5, probability=-0.1)
 
+    def test_out_of_range_duplicate_probability_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioEvent.duplicate_storm(0.5, probability=1.0)
+        with pytest.raises(ConfigurationError):
+            ScenarioEvent.duplicate_storm(0.5, probability=-0.2)
+
     def test_non_positive_sluggish_factor_rejected(self):
         with pytest.raises(ConfigurationError):
             ScenarioEvent.sluggish(0.5, node=1, factor=0.0)
+
+    def test_epaxos_accepts_only_session_window_override(self):
+        from repro.scenarios.runner import ScenarioRunner
+
+        good = Scenario(name="ok", protocol="epaxos", duration=0.2,
+                        checks=("linearizability",),
+                        config_overrides={"session_window": 8})
+        cluster = ScenarioRunner(good).build()
+        assert cluster.nodes[0].replica._session_window == 8
+
+        bad = Scenario(name="bad", protocol="epaxos", duration=0.2,
+                       checks=("linearizability",),
+                       config_overrides={"heartbeat_interval": 0.01})
+        with pytest.raises(ConfigurationError):
+            ScenarioRunner(bad).build()
 
     def test_custom_scenario_runs(self):
         scenario = Scenario(

@@ -185,3 +185,70 @@ class TestSnapshot:
         snapshot = Snapshot.capture(store, last_executed_slot=1)
         store.apply(Command(op=OpType.PUT, key="a", value="2"))
         assert snapshot.data["a"] == "1"
+
+
+class TestClientSessionCache:
+    def test_put_then_get_roundtrips(self):
+        from repro.statemachine.sessions import ClientSessionCache
+
+        cache = ClientSessionCache(window=4)
+        cache.put(1000, 1, "r1")
+        assert cache.get(1000, 1) == "r1"
+        assert cache.get(1000, 2) is None
+        assert cache.get(1001, 1) is None
+
+    def test_window_evicts_oldest_entry(self):
+        from repro.statemachine.sessions import ClientSessionCache
+
+        cache = ClientSessionCache(window=3)
+        for request_id in (1, 2, 3, 4):
+            cache.put(1000, request_id, f"r{request_id}")
+        assert cache.get(1000, 1) is None  # evicted
+        assert cache.get(1000, 2) == "r2"
+        assert cache.get(1000, 4) == "r4"
+        assert cache.evictions == 1
+        assert cache.session_size(1000) == 3
+
+    def test_get_refreshes_lru_position(self):
+        from repro.statemachine.sessions import ClientSessionCache
+
+        cache = ClientSessionCache(window=2)
+        cache.put(1000, 1, "r1")
+        cache.put(1000, 2, "r2")
+        assert cache.get(1000, 1) == "r1"  # touch 1 so 2 becomes oldest
+        cache.put(1000, 3, "r3")
+        assert cache.get(1000, 2) is None
+        assert cache.get(1000, 1) == "r1"
+
+    def test_windows_are_per_client(self):
+        from repro.statemachine.sessions import ClientSessionCache
+
+        cache = ClientSessionCache(window=2)
+        for client in (1000, 1001):
+            for request_id in (1, 2):
+                cache.put(client, request_id, f"{client}.{request_id}")
+        assert len(cache) == 4
+        assert cache.client_count() == 2
+        assert cache.get(1001, 1) == "1001.1"
+
+    def test_rejects_non_positive_window(self):
+        from repro.statemachine.sessions import ClientSessionCache
+
+        with pytest.raises(ValueError):
+            ClientSessionCache(window=0)
+        with pytest.raises(ValueError):
+            ClientSessionCache(max_clients=0)
+
+    def test_client_churn_evicts_idle_sessions(self):
+        from repro.statemachine.sessions import ClientSessionCache
+
+        cache = ClientSessionCache(window=8, max_clients=2)
+        cache.put(1000, 1, "a")
+        cache.put(1001, 1, "b")
+        assert cache.get(1000, 1) == "a"  # touch 1000 so 1001 is idle
+        cache.put(1002, 1, "c")           # third client: evict 1001 wholesale
+        assert cache.client_count() == 2
+        assert cache.session_evictions == 1
+        assert cache.get(1001, 1) is None
+        assert cache.get(1000, 1) == "a"
+        assert cache.get(1002, 1) == "c"
