@@ -1,54 +1,247 @@
-"""Adversarial scenario sweep: throughput and safety under faults.
+"""Adversarial scenario sweep + protocol x overlay communication-cost table.
 
-Unlike the figure benchmarks (which reproduce the paper's numbers), this
-sweep runs the whole canned scenario library from ``repro.scenarios`` --
-leader crashes, partitions, drop storms, relay churn -- and reports, for
-each scenario, client throughput, fault counters and the verdict of the
-linearizability + log-invariant checkers.  It is the benchmark-shaped view
-of the safety suite in tests/test_scenarios.py: any future scale/speed PR
-can eyeball this table to see whether an optimization traded away
-correctness under adversity.
+Two benchmark-shaped views of the scenario/checker stack:
+
+* ``test_scenario_library_safety_sweep`` runs the whole canned scenario
+  library from ``repro.scenarios`` -- leader crashes, partitions, drop
+  storms, relay churn, overlay faults -- and reports, per scenario, client
+  throughput, fault counters and the checkers' verdict.  Any future
+  scale/speed PR can eyeball this table to see whether an optimization
+  traded away correctness under adversity.
+
+* ``test_communication_cost_matrix`` reproduces the paper's headline
+  comparison on a fault-free 9-node WAN deployment, extended to the
+  leaderless protocol: for each protocol x fan-out overlay cell it measures
+  messages and bytes at the *bottleneck node* (the busiest node -- the
+  leader for the Paxos family, the busiest opportunistic leader for EPaxos)
+  and asserts that relay and thrifty EPaxos beat direct all-to-all
+  broadcast, with every safety checker still green.
+
+Both tests merge their results into ``benchmarks/results/BENCH_scenarios.json``
+(per-scenario throughput plus message/byte accounting) so the performance
+trajectory is machine-trackable across PRs.
 """
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
-from _common import comparison_table, report
+from _common import RESULTS_DIR, comparison_table, report
 from repro.scenarios import all_scenarios, run_scenario
+from repro.scenarios.library import EPAXOS_CHECK_NAMES
+from repro.scenarios.spec import Scenario
+from repro.sim.metrics import bottleneck_node, sent_by_kind
+
+BENCH_JSON = RESULTS_DIR / "BENCH_scenarios.json"
+
+#: The protocol x overlay cells of the communication-cost comparison.
+#: PigPaxos *is* paxos + relay, so it fills that cell of the matrix.
+COMM_MATRIX = (
+    ("paxos", "direct"),
+    ("pigpaxos", "relay"),
+    ("epaxos", "direct"),
+    ("epaxos", "relay"),
+    ("epaxos", "thrifty"),
+)
+
+
+def _merge_into_json(section: str, payload) -> None:
+    """Merge one section into BENCH_scenarios.json (tests run in any order)."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    data = {}
+    if BENCH_JSON.exists():
+        try:
+            data = json.loads(BENCH_JSON.read_text(encoding="utf-8"))
+        except json.JSONDecodeError:
+            data = {}
+    data[section] = payload
+    BENCH_JSON.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+
+
+# ---------------------------------------------------------------------------
+# Library safety sweep
 
 
 def _run_library():
-    rows = []
+    records = []
     for name in sorted(all_scenarios()):
         result = run_scenario(all_scenarios()[name])
         counters = result.counters()
-        throughput = result.completed_requests / result.scenario.duration
-        rows.append(
-            (
-                name,
-                result.scenario.protocol,
-                result.scenario.num_nodes,
-                f"{throughput:.0f}",
-                int(counters.get("faults.crashes", 0)),
-                int(counters.get("net.messages_dropped", 0)),
-                int(counters.get("net.messages_duplicated", 0)),
-                int(counters.get("pigpaxos.relay_timeouts", 0)),
-                "OK" if result.ok else f"{len(result.violations)} VIOLATIONS",
-            )
+        node, hot = bottleneck_node(counters)
+        records.append(
+            {
+                "scenario": name,
+                "protocol": result.scenario.protocol,
+                "nodes": result.scenario.num_nodes,
+                "completed": result.completed_requests,
+                "ops_per_sec": round(result.completed_requests / result.scenario.duration, 1),
+                "messages_sent": int(counters.get("net.messages_sent", 0)),
+                "bytes_sent": int(counters.get("net.bytes_sent", 0)),
+                "crashes": int(counters.get("faults.crashes", 0)),
+                "drops": int(counters.get("net.messages_dropped", 0)),
+                "dups": int(counters.get("net.messages_duplicated", 0)),
+                "relay_timeouts": int(
+                    counters.get("pigpaxos.relay_timeouts", 0)
+                    + counters.get("epaxos.relay_timeouts", 0)
+                ),
+                "bottleneck_node": node,
+                "bottleneck_messages": int(hot.get("messages_total", 0)),
+                "violations": len(result.violations),
+                "ok": result.ok,
+            }
         )
-    return rows
+    return records
 
 
 @pytest.mark.benchmark(group="scenarios")
 def test_scenario_library_safety_sweep(benchmark):
-    rows = benchmark.pedantic(_run_library, rounds=1, iterations=1)
+    records = benchmark.pedantic(_run_library, rounds=1, iterations=1)
 
+    rows = [
+        (
+            r["scenario"],
+            r["protocol"],
+            r["nodes"],
+            f"{r['ops_per_sec']:.0f}",
+            r["crashes"],
+            r["drops"],
+            r["dups"],
+            r["relay_timeouts"],
+            "OK" if r["ok"] else f"{r['violations']} VIOLATIONS",
+        )
+        for r in records
+    ]
     lines = comparison_table(
         ["scenario", "protocol", "nodes", "ops/s", "crashes", "drops", "dups", "relay t/o", "checkers"],
         rows,
     )
     report("scenario_safety_sweep", "Adversarial scenario sweep (safety checkers enabled)", lines)
+    _merge_into_json("scenario_sweep", records)
 
-    verdicts = [row[-1] for row in rows]
-    assert all(verdict == "OK" for verdict in verdicts), verdicts
+    verdicts = [(r["scenario"], r["ok"]) for r in records]
+    assert all(ok for _, ok in verdicts), verdicts
+
+
+# ---------------------------------------------------------------------------
+# Communication-cost matrix (9-node WAN, protocol x overlay)
+
+
+def _comm_scenario(protocol: str, overlay: str) -> Scenario:
+    """One fault-free 9-node WAN cell of the communication-cost matrix."""
+    common = dict(
+        num_nodes=9,
+        wan=True,
+        num_clients=6,
+        duration=2.0,
+        seed=5,
+        client_timeout=1.0,
+    )
+    if protocol == "pigpaxos":
+        return Scenario(
+            name=f"comm-{protocol}-{overlay}",
+            protocol="pigpaxos",
+            use_region_groups=True,
+            description="communication-cost cell",
+            **common,
+        )
+    checks = EPAXOS_CHECK_NAMES if protocol == "epaxos" else ("linearizability", "log_invariants")
+    overrides = None
+    if overlay == "relay":
+        overrides = {"overlay": {"kind": "relay", "use_region_groups": True}}
+    elif overlay == "thrifty":
+        overrides = {"overlay": {"kind": "thrifty", "thrifty_fallback_timeout": 0.3}}
+    return Scenario(
+        name=f"comm-{protocol}-{overlay}",
+        protocol=protocol,
+        checks=checks,
+        config_overrides=overrides,
+        description="communication-cost cell",
+        **common,
+    )
+
+
+def _run_matrix():
+    records = []
+    for protocol, overlay in COMM_MATRIX:
+        result = run_scenario(_comm_scenario(protocol, overlay))
+        counters = result.counters()
+        node, hot = bottleneck_node(counters)
+        completed = max(result.completed_requests, 1)
+        records.append(
+            {
+                "protocol": protocol,
+                "overlay": overlay,
+                "completed": result.completed_requests,
+                "ops_per_sec": round(result.completed_requests / result.scenario.duration, 1),
+                "bottleneck_node": node,
+                "bottleneck_messages": int(hot.get("messages_total", 0)),
+                "bottleneck_msgs_per_op": round(hot.get("messages_total", 0) / completed, 2),
+                "bottleneck_bytes": int(hot.get("bytes_total", 0)),
+                "bottleneck_bytes_per_op": round(hot.get("bytes_total", 0) / completed, 1),
+                "total_messages": int(counters.get("net.messages_sent", 0)),
+                "total_bytes": int(counters.get("net.bytes_sent", 0)),
+                "sent_by_kind": {
+                    kind: {"count": int(stats["count"]), "bytes": int(stats["bytes"])}
+                    for kind, stats in sorted(sent_by_kind(counters).items())
+                },
+                "violations": len(result.violations),
+                "ok": result.ok,
+            }
+        )
+    return records
+
+
+@pytest.mark.benchmark(group="scenarios")
+def test_communication_cost_matrix(benchmark):
+    records = benchmark.pedantic(_run_matrix, rounds=1, iterations=1)
+
+    rows = [
+        (
+            f"{r['protocol']}+{r['overlay']}",
+            f"{r['ops_per_sec']:.0f}",
+            r["bottleneck_node"],
+            r["bottleneck_msgs_per_op"],
+            r["bottleneck_bytes_per_op"],
+            r["total_messages"],
+            "OK" if r["ok"] else f"{r['violations']} VIOLATIONS",
+        )
+        for r in records
+    ]
+    lines = comparison_table(
+        [
+            "protocol+overlay",
+            "ops/s",
+            "hot node",
+            "hot msgs/op",
+            "hot bytes/op",
+            "total msgs",
+            "checkers",
+        ],
+        rows,
+    )
+    report(
+        "communication_cost_matrix",
+        "Communication cost at the bottleneck node -- 9-node WAN, protocol x overlay",
+        lines,
+    )
+    _merge_into_json("communication_cost", records)
+
+    by_cell = {(r["protocol"], r["overlay"]): r for r in records}
+    assert all(r["ok"] for r in records), [
+        (r["protocol"], r["overlay"], r["violations"]) for r in records
+    ]
+    # The paper's claim, extended to the leaderless protocol: both overlay
+    # strategies must shrink per-op message touches at the busiest node
+    # compared to direct all-to-all broadcast.
+    direct = by_cell[("epaxos", "direct")]["bottleneck_msgs_per_op"]
+    relay = by_cell[("epaxos", "relay")]["bottleneck_msgs_per_op"]
+    thrifty = by_cell[("epaxos", "thrifty")]["bottleneck_msgs_per_op"]
+    assert relay < direct, (relay, direct)
+    assert thrifty < direct, (thrifty, direct)
+    # And PigPaxos must beat plain Paxos at the leader, as in the paper.
+    assert (
+        by_cell[("pigpaxos", "relay")]["bottleneck_msgs_per_op"]
+        < by_cell[("paxos", "direct")]["bottleneck_msgs_per_op"]
+    )

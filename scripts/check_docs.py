@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Documentation link checker (used by the CI docs/lint step).
+
+Scans the repo's markdown files for relative links and verifies every
+target exists.  External links (http/https/mailto) and pure anchors are
+skipped; a ``path#anchor`` link is checked for the path only.
+
+Usage::
+
+    python scripts/check_docs.py [file_or_dir ...]   # defaults to README.md docs/
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Markdown inline links: [text](target) -- excludes images handled the same.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def markdown_files(arguments: list[str]) -> list[Path]:
+    if not arguments:
+        arguments = ["README.md", "docs"]
+    files: list[Path] = []
+    for argument in arguments:
+        path = (REPO_ROOT / argument).resolve()
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.md")))
+        elif path.exists():
+            files.append(path)
+        else:
+            print(f"error: no such file or directory: {argument}", file=sys.stderr)
+            sys.exit(2)
+    return files
+
+
+def check_file(markdown: Path) -> list[str]:
+    problems = []
+    text = markdown.read_text(encoding="utf-8")
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(SKIP_PREFIXES):
+            continue
+        relative = target.split("#", 1)[0]
+        if not relative:
+            continue
+        resolved = (markdown.parent / relative).resolve()
+        if not resolved.exists():
+            problems.append(f"{markdown.relative_to(REPO_ROOT)}: broken link -> {target}")
+    return problems
+
+
+def main(arguments: list[str]) -> int:
+    files = markdown_files(arguments)
+    problems = [problem for markdown in files for problem in check_file(markdown)]
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    print(f"checked {len(files)} markdown file(s): "
+          f"{'OK' if not problems else f'{len(problems)} broken link(s)'}")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

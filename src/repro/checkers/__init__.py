@@ -21,6 +21,22 @@ Checkers never mutate the cluster; each returns a list of
 :class:`~repro.checkers.invariants.Violation` records (empty means the
 run passed).  They are deliberately independent of the scenario engine so
 tests and benchmarks can also run them against hand-built clusters.
+
+Example -- checking a cluster you built yourself::
+
+    from repro.checkers import HistoryRecorder, check_linearizability, run_log_checks
+    from repro.cluster.builder import ClusterBuilder
+
+    recorder = HistoryRecorder()
+    cluster = (ClusterBuilder().protocol("pigpaxos").nodes(5).clients(4)
+               .seed(3).history_recorder(recorder).build())
+    cluster.run(1.0)
+    violations = run_log_checks(cluster) + check_linearizability(recorder.history())
+    assert not violations, violations
+
+For EPaxos clusters substitute :func:`run_epaxos_checks` for
+:func:`run_log_checks` (the slot-based checks skip themselves on
+protocols without a slot log).
 """
 
 from repro.checkers.history import History, HistoryRecorder, Operation

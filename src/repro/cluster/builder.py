@@ -23,6 +23,7 @@ from repro.net.faults import NetworkFaults
 from repro.net.network import SimNetwork
 from repro.net.sizes import SizeModel
 from repro.net.topology import Topology
+from repro.overlay.config import OverlayConfig, build_overlay
 from repro.paxos.replica import MultiPaxosReplica
 from repro.protocol.config import ProtocolConfig
 from repro.sim.engine import Simulator
@@ -171,6 +172,7 @@ class ClusterBuilder:
     _client_timeout: float = 2.0
     _num_relay_groups: Optional[int] = None
     _use_region_groups: bool = False
+    _overlay_config: Optional[OverlayConfig] = None
     _drop_probability: float = 0.0
     _size_model: SizeModel = field(default_factory=SizeModel)
     _history_recorder: Optional[object] = None
@@ -222,6 +224,18 @@ class ClusterBuilder:
 
     def region_relay_groups(self, enabled: bool = True) -> "ClusterBuilder":
         self._use_region_groups = enabled
+        return self
+
+    def overlay(self, config) -> "ClusterBuilder":
+        """Choose the wide-cast fan-out overlay (Paxos and EPaxos).
+
+        Accepts an :class:`~repro.overlay.config.OverlayConfig`, a kind
+        string (``"direct"``/``"relay"``/``"thrifty"``) or a mapping of
+        OverlayConfig fields.  Takes precedence over
+        ``ProtocolConfig.overlay``.  PigPaxos *is* the relay overlay and is
+        configured via :class:`~repro.core.config.PigPaxosConfig` instead.
+        """
+        self._overlay_config = OverlayConfig.coerce(config)
         return self
 
     def message_drop_probability(self, probability: float) -> "ClusterBuilder":
@@ -292,14 +306,35 @@ class ClusterBuilder:
             history_recorder=self._history_recorder,
         )
 
+    def _resolve_overlay_config(self, config: Optional[ProtocolConfig]) -> Optional[OverlayConfig]:
+        """Builder-level overlay choice wins over ProtocolConfig.overlay."""
+        if self._overlay_config is not None:
+            return self._overlay_config
+        if config is not None and config.overlay is not None:
+            return config.overlay
+        return None
+
     def _make_replica(self, topology: Topology):
         if self._protocol == "paxos":
             config = self._protocol_config or ProtocolConfig()
-            return MultiPaxosReplica(config=config)
+            overlay_config = self._resolve_overlay_config(config)
+            if overlay_config is not None and overlay_config.kind == "relay":
+                raise ConfigurationError(
+                    "paxos with a relay overlay is PigPaxos; use protocol "
+                    "'pigpaxos' (configured via PigPaxosConfig) instead"
+                )
+            overlay = build_overlay(overlay_config)
+            return MultiPaxosReplica(config=config, overlay=overlay)
         if self._protocol == "pigpaxos":
             config = self._protocol_config
             if config is None or not isinstance(config, PigPaxosConfig):
                 config = PigPaxosConfig()
+            if self._overlay_config is not None or config.overlay is not None:
+                raise ConfigurationError(
+                    "pigpaxos is the relay overlay; tune it via PigPaxosConfig "
+                    "(num_relay_groups, relay_timeout, ...) rather than an "
+                    "overlay config"
+                )
             if self._num_relay_groups is not None:
                 config.num_relay_groups = self._num_relay_groups
             if self._use_region_groups:
@@ -307,18 +342,22 @@ class ClusterBuilder:
             return PigPaxosReplica(config=config, region_of=topology.region_map())
         if self._protocol == "epaxos":
             config = self._protocol_config
+            overlay_config = self._resolve_overlay_config(config)
+            overlay = build_overlay(overlay_config, region_of=topology.region_map())
             if config is None:
-                return EPaxosReplica()
-            # EPaxos consumes only the shared session_window knob; reject a
-            # config that sets anything else rather than silently ignore it.
+                return EPaxosReplica(overlay=overlay)
+            # EPaxos consumes only the shared session_window and overlay
+            # knobs; reject a config that sets anything else rather than
+            # silently ignore it.
             if type(config) is not ProtocolConfig or config != ProtocolConfig(
-                session_window=config.session_window
+                session_window=config.session_window, overlay=config.overlay
             ):
                 raise ConfigurationError(
-                    "epaxos only consumes ProtocolConfig.session_window; "
-                    "other protocol-config fields would be silently ignored"
+                    "epaxos only consumes ProtocolConfig.session_window and "
+                    ".overlay; other protocol-config fields would be "
+                    "silently ignored"
                 )
-            return EPaxosReplica(session_window=config.session_window)
+            return EPaxosReplica(session_window=config.session_window, overlay=overlay)
         raise ConfigurationError(f"unknown protocol {self._protocol!r}")
 
 
@@ -334,11 +373,14 @@ def build_cluster(
     cpu_model: Optional[NodeCPUModel] = None,
     fault_schedule: Optional[FaultSchedule] = None,
     use_region_groups: bool = False,
+    overlay=None,
 ) -> Cluster:
     """One-call convenience wrapper around :class:`ClusterBuilder`."""
     builder = ClusterBuilder().protocol(protocol).nodes(num_nodes).clients(num_clients).seed(seed)
     if relay_groups is not None:
         builder.relay_groups(relay_groups)
+    if overlay is not None:
+        builder.overlay(overlay)
     if workload is not None:
         builder.workload(workload)
     if topology is not None:

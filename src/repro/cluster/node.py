@@ -50,6 +50,8 @@ class SimNode:
         self._busy_time_total = 0.0
         self._messages_in = sim.metrics.counter(f"node.{node_id}.messages_in")
         self._messages_out = sim.metrics.counter(f"node.{node_id}.messages_out")
+        self._bytes_in = sim.metrics.counter(f"node.{node_id}.bytes_in")
+        self._bytes_out = sim.metrics.counter(f"node.{node_id}.bytes_out")
 
         network.register(self)
 
@@ -153,6 +155,7 @@ class SimNode:
         cost = self._cpu.receive_cost(envelope.size_bytes, is_client_request=is_client_request)
         ready_at = self._reserve(cost)
         self._messages_in.increment()
+        self._bytes_in.increment(envelope.size_bytes)
         self._sim.schedule_at(ready_at, self._handle, envelope)
 
     def _handle(self, envelope: Envelope) -> None:
@@ -167,6 +170,7 @@ class SimNode:
         size = self._network.size_model.size_of(message)
         ready_at = self._reserve(self._cpu.send_cost(size))
         self._messages_out.increment()
+        self._bytes_out.increment(size)
         self._sim.schedule_at(ready_at, self._transport.push_to_network, dst, message)
         return True
 

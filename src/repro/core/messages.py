@@ -1,83 +1,22 @@
-"""PigPaxos overlay messages.
+"""PigPaxos overlay messages (aliases of the generic overlay wire format).
 
-The overlay wraps ordinary Paxos messages.  ``PigRelayRequest`` carries the
-inner message (P1a, P2a, Heartbeat) plus the subtree the recipient is
-responsible for; ``PigAggregate`` carries the inner responses (P1b/P2b)
-collected within that subtree back towards the leader.
+The PigPaxos overlay wraps ordinary Paxos messages: ``PigRelayRequest``
+carries the inner message (P1a, P2a, Heartbeat) plus the subtree the
+recipient is responsible for; ``PigAggregate`` carries the inner responses
+(P1b/P2b) collected within that subtree back towards the leader.
 
-Aggregation saves per-message header overhead and -- crucially for the
-paper's WAN argument (Section 6.4) -- reduces the number of messages the
-leader sends and receives, but it does not shrink the payloads themselves:
-``PigAggregate.payload_bytes`` is the sum of its children's payloads.
+Since the relay machinery was generalised into :mod:`repro.overlay` (so
+EPaxos PreAccept/Accept rounds can ride the same trees), these names are
+plain aliases of :class:`~repro.overlay.messages.RelayRequest` and
+:class:`~repro.overlay.messages.RelayAggregate` -- one wire format, two
+protocol families.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Tuple
+from repro.overlay.messages import RelayAggregate, RelayRequest, RelaySubtree
 
-from repro.net.message import Message
+PigRelayRequest = RelayRequest
+PigAggregate = RelayAggregate
 
-
-@dataclass(frozen=True)
-class RelaySubtree:
-    """One node of the relay tree, with the subtrees it must fan out to."""
-
-    node_id: int
-    children: Tuple["RelaySubtree", ...] = ()
-
-    def size(self) -> int:
-        """Total number of nodes in this subtree (including this node)."""
-        return 1 + sum(child.size() for child in self.children)
-
-    def depth(self) -> int:
-        if not self.children:
-            return 1
-        return 1 + max(child.depth() for child in self.children)
-
-    def all_nodes(self) -> Tuple[int, ...]:
-        nodes = [self.node_id]
-        for child in self.children:
-            nodes.extend(child.all_nodes())
-        return tuple(nodes)
-
-
-@dataclass(frozen=True)
-class PigRelayRequest(Message):
-    """A wrapped fan-out message travelling down the relay tree.
-
-    Attributes:
-        inner: The ordinary Paxos message being disseminated.
-        children: Subtrees this recipient must forward the message to.
-        agg_id: Aggregation session id; the recipient's PigAggregate reply
-            carries the same id so the parent can match it.
-        timeout: How long the recipient may wait for its children before
-            flushing a partial aggregate.
-        expects_response: False for pure fan-out traffic (heartbeats /
-            commits) where the leader does not need the fan-in leg.
-    """
-
-    inner: Message
-    children: Tuple[RelaySubtree, ...]
-    agg_id: int
-    timeout: float
-    expects_response: bool = True
-
-    def payload_bytes(self) -> int:
-        inner_payload = self.inner.payload_bytes()
-        # The membership list adds ~4 bytes per node id mentioned in the tree.
-        membership = 4 * sum(subtree.size() for subtree in self.children)
-        return inner_payload + membership
-
-
-@dataclass(frozen=True)
-class PigAggregate(Message):
-    """Aggregated responses travelling back up the relay tree."""
-
-    agg_id: int
-    responses: Tuple[Message, ...]
-    origin: int = -1
-    complete: bool = True
-
-    def payload_bytes(self) -> int:
-        return sum(response.payload_bytes() + 8 for response in self.responses)
+__all__ = ["PigAggregate", "PigRelayRequest", "RelaySubtree"]

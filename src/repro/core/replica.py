@@ -1,58 +1,32 @@
 """The PigPaxos replica.
 
-``PigPaxosReplica`` subclasses the Multi-Paxos replica and overrides only the
-communication fan-out hooks.  Decision making (ballots, quorums, the log, the
-state machine, leader election, commit piggybacking) is inherited unchanged,
-which is precisely the property the paper relies on to reuse Paxos'
-correctness argument.
+``PigPaxosReplica`` is :class:`~repro.paxos.replica.MultiPaxosReplica`
+hosting a :class:`~repro.overlay.relay.RelayFanout` overlay.  Decision
+making (ballots, quorums, the log, the state machine, leader election,
+commit piggybacking) is inherited unchanged, which is precisely the
+property the paper relies on to reuse Paxos' correctness argument: only the
+message-passing layer differs.
 
-Three roles appear below:
-
-* **leader**: wraps its P1a/P2a/heartbeat fan-out into per-round relay trees
-  (one random relay per group) and unwraps the aggregates it receives; a
-  round that fails to reach a quorum in time is retried through freshly
-  chosen relays.
-* **relay** (any follower picked for a round): processes the inner message as
-  an ordinary follower, forwards it to its subtree, and aggregates responses
-  under a tight timeout (optionally flushing early at a threshold).
-* **follower**: processes the inner message and replies to whoever forwarded
-  it (its relay), not to the leader.
+The relay machinery itself (per-round relay trees, timed aggregation with
+early-threshold flushing, late-response forwarding, dynamic reshuffling)
+lives in :mod:`repro.overlay.relay`, where EPaxos shares it.  What remains
+here is the one genuinely PigPaxos-specific behaviour -- the *leader round
+retry* of Figure 5b: a phase-2 round that fails to reach a quorum within
+``leader_retry_timeout`` is re-sent through freshly chosen relays -- plus
+thin delegation so existing callers (tests, benchmarks, the scenario
+runner's reshuffle event) keep their entry points.
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from repro.core.config import PigPaxosConfig
-from repro.core.groups import (
-    RelayGroupPlan,
-    contiguous_groups,
-    region_groups,
-    round_robin_groups,
-)
-from repro.core.messages import PigAggregate, PigRelayRequest, RelaySubtree
-from repro.net.message import Message
+from repro.overlay.groups import RelayGroupPlan
+from repro.overlay.relay import RelayFanout
 from repro.paxos.replica import MultiPaxosReplica, _Proposal
-from repro.protocol.base import TimerLike
-from repro.protocol.messages import Heartbeat, P1a, P2a
+from repro.protocol.messages import P2a
 from repro.quorum.systems import QuorumSystem
-
-
-@dataclass
-class _AggregationSession:
-    """State a relay keeps while gathering responses for one round."""
-
-    agg_id: int
-    parent: int
-    expected_children: int
-    responses: List[Message] = field(default_factory=list)
-    children_heard: int = 0
-    children_seen: set = field(default_factory=set)
-    threshold: Optional[int] = None
-    timer: Optional[TimerLike] = None
-    flushed: bool = False
 
 
 class PigPaxosReplica(MultiPaxosReplica):
@@ -66,86 +40,46 @@ class PigPaxosReplica(MultiPaxosReplica):
         quorum: Optional[QuorumSystem] = None,
         region_of: Optional[Dict[int, str]] = None,
     ) -> None:
-        super().__init__(config=config or PigPaxosConfig(), quorum=quorum)
+        cfg = config or PigPaxosConfig()
+        overlay = RelayFanout(
+            num_groups=cfg.num_relay_groups,
+            use_region_groups=cfg.use_region_groups,
+            region_of=region_of,
+            relay_timeout=cfg.relay_timeout,
+            timeout_decay=cfg.relay_timeout_decay,
+            response_threshold=cfg.group_response_threshold,
+            levels=cfg.relay_levels,
+            fixed_relays=cfg.fixed_relays,
+        )
+        super().__init__(config=cfg, quorum=quorum, overlay=overlay)
         self.pig_config: PigPaxosConfig = self.config  # typed alias
-        self._region_of = dict(region_of or {})
-        self._plan: Optional[RelayGroupPlan] = None
-        self._plan_leader: Optional[int] = None
-        self._sessions: Dict[int, _AggregationSession] = {}
-        self._agg_counter = 0
-        # Parents of recently flushed sessions, so late child responses can
-        # still be forwarded towards the leader instead of being dropped.
-        self._flushed_parents: Dict[int, int] = {}
-
-    #: How many flushed sessions to remember for late-response forwarding.
-    _FLUSHED_SESSION_MEMORY = 256
+        self._relay: RelayFanout = overlay
 
     # ------------------------------------------------------------------ groups
     def relay_group_plan(self) -> RelayGroupPlan:
         """The current partition of this leader's followers into relay groups."""
-        if self._plan is None or self._plan_leader != self.node_id:
-            self._plan = self._build_plan()
-            self._plan_leader = self.node_id
-        return self._plan
-
-    def _build_plan(self) -> RelayGroupPlan:
-        followers = sorted(self.peers)
-        cfg = self.pig_config
-        if cfg.use_region_groups and self._region_of:
-            groups = region_groups(followers, self._region_of)
-        else:
-            groups = round_robin_groups(followers, cfg.num_relay_groups)
-        return RelayGroupPlan(groups=groups)
+        return self._relay.plan()
 
     def reshuffle_groups(self) -> RelayGroupPlan:
         """Dynamically reconfigure relay groups (Section 4.1)."""
-        plan = self.relay_group_plan().reshuffle(self.ctx.rng)
-        self._plan = plan
-        self.count("group_reshuffles")
-        return plan
+        return self._relay.reshuffle()
 
     def set_group_plan(self, groups: List[List[int]]) -> None:
         """Install an explicit group layout (used by tests and ablations)."""
-        self._plan = RelayGroupPlan(groups=[list(g) for g in groups])
-        self._plan_leader = self.node_id
+        self._relay.set_plan(groups)
 
-    # ------------------------------------------------------------------ fan-out overrides
-    def _fanout_phase1(self, p1a: P1a) -> None:
-        self._pig_fanout(p1a, expects_response=True)
+    # ------------------------------------------------------------------ fan-out
+    def _pig_fanout(self, inner, expects_response: bool, exclude: Optional[set] = None) -> List[int]:
+        """Send ``inner`` down one freshly built relay tree per group."""
+        relays = self._relay.wide_cast(
+            inner, expects_response=expects_response, exclude=exclude
+        )
+        self.count("pig_rounds")
+        return list(relays)
 
     def _fanout_phase2(self, p2a: P2a, proposal: _Proposal) -> None:
-        self._pig_fanout(p2a, expects_response=True)
+        super()._fanout_phase2(p2a, proposal)
         self._arm_proposal_retry(proposal, p2a)
-
-    def _fanout_heartbeat(self, heartbeat: Heartbeat) -> None:
-        self._pig_fanout(heartbeat, expects_response=False)
-
-    def _pig_fanout(self, inner: Message, expects_response: bool, exclude: Optional[set] = None) -> List[int]:
-        """Send ``inner`` down one freshly built relay tree per group."""
-        cfg = self.pig_config
-        plan = self.relay_group_plan()
-        rng = self.ctx.rng if cfg.group_seed_rotation else None
-        trees = plan.build_trees(
-            rng=rng or self.ctx.rng,
-            levels=cfg.relay_levels,
-            fixed_relays=cfg.fixed_relays,
-            exclude=exclude,
-        )
-        self._agg_counter += 1
-        agg_id = self.node_id * 1_000_000_000 + self._agg_counter
-        relays: List[int] = []
-        for tree in trees:
-            request = PigRelayRequest(
-                inner=inner,
-                children=tree.children,
-                agg_id=agg_id,
-                timeout=cfg.relay_timeout,
-                expects_response=expects_response,
-            )
-            self.send(tree.node_id, request)
-            relays.append(tree.node_id)
-        self.count("pig_rounds")
-        return relays
 
     def _arm_proposal_retry(self, proposal: _Proposal, p2a: P2a) -> None:
         if proposal.retry_timer is not None:
@@ -162,160 +96,11 @@ class PigPaxosReplica(MultiPaxosReplica):
         self._pig_fanout(p2a, expects_response=True)
         self._arm_proposal_retry(proposal, p2a)
 
-    # ------------------------------------------------------------------ message dispatch
-    def _handlers(self) -> Dict[type, object]:
-        handlers = super()._handlers()
-        handlers[PigRelayRequest] = self._on_relay_request
-        handlers[PigAggregate] = self._on_aggregate
-        return handlers
-
-    # ------------------------------------------------------------------ relay / follower role
-    def _process_inner(self, src: int, inner: Message) -> Optional[Message]:
-        """Apply the wrapped message as a follower and return the response (if any)."""
-        if isinstance(inner, P2a):
-            return self._process_p2a(inner)
-        if isinstance(inner, P1a):
-            return self._process_p1a(inner)
-        if isinstance(inner, Heartbeat):
-            self._on_heartbeat(src, inner)
-            return None
-        # Fall back to ordinary handling for anything else wrapped in a relay
-        # request (e.g. explicit Commit messages).
-        self.on_message(src, inner)
-        return None
-
-    def _on_relay_request(self, src: int, msg: PigRelayRequest) -> None:
-        own_response = self._process_inner(src, msg.inner)
-
-        if not msg.expects_response:
-            # Pure fan-out traffic (heartbeats): forward and stop.
-            for child in msg.children:
-                self._forward_to_child(child, msg)
-            return
-
-        if not msg.children:
-            # Leaf follower: answer the relay immediately.
-            responses = (own_response,) if own_response is not None else ()
-            self.send(src, PigAggregate(agg_id=msg.agg_id, responses=responses, origin=self.node_id))
-            return
-
-        # Relay role: open an aggregation session, forward to the subtree.
-        session = _AggregationSession(
-            agg_id=msg.agg_id,
-            parent=src,
-            expected_children=len(msg.children),
-            threshold=self._threshold_for(len(msg.children)),
-        )
-        if own_response is not None:
-            session.responses.append(own_response)
-        self._sessions[msg.agg_id] = session
-        session.timer = self.ctx.schedule(msg.timeout, self._session_timeout, msg.agg_id)
-        for child in msg.children:
-            self._forward_to_child(child, msg)
-        self.count("relay_rounds")
-
-    def _forward_to_child(self, child: RelaySubtree, msg: PigRelayRequest) -> None:
-        child_timeout = max(msg.timeout * self.pig_config.relay_timeout_decay, 0.001)
-        self.send(
-            child.node_id,
-            PigRelayRequest(
-                inner=msg.inner,
-                children=child.children,
-                agg_id=msg.agg_id,
-                timeout=child_timeout,
-                expects_response=msg.expects_response,
-            ),
-        )
-
-    def _threshold_for(self, num_children: int) -> Optional[int]:
-        fraction = self.pig_config.group_response_threshold
-        if fraction is None:
-            return None
-        return max(1, math.ceil(fraction * num_children))
-
-    def _on_aggregate(self, src: int, msg: PigAggregate) -> None:
-        session = self._sessions.get(msg.agg_id)
-        if session is not None and not session.flushed:
-            # Count distinct children only: a child relay that flushed early
-            # may send a second aggregate when its own stragglers arrive, and
-            # double-counting it would flush this session "complete" while a
-            # different child never reported.
-            if msg.origin not in session.children_seen:
-                session.children_seen.add(msg.origin)
-                session.children_heard += 1
-            session.responses.extend(msg.responses)
-            done = session.children_heard >= session.expected_children
-            early = session.threshold is not None and session.children_heard >= session.threshold
-            if done or early:
-                self._flush_session(session, complete=done)
-            return
-
-        parent = self._flushed_parents.get(msg.agg_id)
-        if parent is not None:
-            # Late child responses for a session this relay already flushed
-            # (timeout or early threshold).  The leader may still need these
-            # votes to reach quorum, so forward them up the tree rather than
-            # swallowing them; duplicates are idempotent at the leader.
-            if msg.responses:
-                self.count("late_responses_forwarded")
-                self.send(
-                    parent,
-                    PigAggregate(
-                        agg_id=msg.agg_id,
-                        responses=msg.responses,
-                        origin=self.node_id,
-                        complete=False,
-                    ),
-                )
-            else:
-                self.count("late_aggregates_dropped")
-            return
-
-        if msg.responses:
-            # No session was ever open for this id: we are the top of the
-            # tree (the leader, or a phase-1 candidate that is not leader
-            # yet).  Unwrap and feed each vote into ordinary handling; stale
-            # votes are ignored there.
-            for response in msg.responses:
-                super().on_message(src, response)
-        else:
-            self.count("late_aggregates_dropped")
-
-    def _session_timeout(self, agg_id: int) -> None:
-        session = self._sessions.get(agg_id)
-        if session is None or session.flushed:
-            return
-        self.count("relay_timeouts")
-        self._flush_session(session, complete=False)
-
-    def _flush_session(self, session: _AggregationSession, complete: bool) -> None:
-        session.flushed = True
-        if session.timer is not None:
-            session.timer.cancel()
-        self._sessions.pop(session.agg_id, None)
-        self._flushed_parents[session.agg_id] = session.parent
-        while len(self._flushed_parents) > self._FLUSHED_SESSION_MEMORY:
-            self._flushed_parents.pop(next(iter(self._flushed_parents)))
-        aggregate = PigAggregate(
-            agg_id=session.agg_id,
-            responses=tuple(session.responses),
-            origin=self.node_id,
-            complete=complete,
-        )
-        self.send(session.parent, aggregate)
-
-    # ------------------------------------------------------------------ crash / recover
-    def on_crash(self) -> None:
-        super().on_crash()
-        for session in self._sessions.values():
-            if session.timer is not None:
-                session.timer.cancel()
-        self._sessions.clear()
-        self._flushed_parents.clear()
-
     # ------------------------------------------------------------------ introspection
     def status(self) -> Dict[str, object]:
         info = super().status()
-        info["relay_groups"] = [list(group) for group in self.relay_group_plan().groups] if self.is_leader else None
-        info["open_sessions"] = len(self._sessions)
+        info["relay_groups"] = (
+            [list(group) for group in self.relay_group_plan().groups] if self.is_leader else None
+        )
+        info["open_sessions"] = self._relay.open_sessions
         return info

@@ -20,6 +20,17 @@ redeliveries cannot drop dependency edges, and execution is at-most-once per
 client session (a retried command that lands in a second instance applies
 once and answers from the cached result).
 
+Communication fan-out is pluggable (:mod:`repro.overlay`): PreAccept and
+Accept rounds, and the commit notifications, route through the replica's
+:class:`~repro.overlay.base.FanoutOverlay`.  ``DirectFanout`` reproduces
+the classic all-to-all broadcast; ``RelayFanout`` sends each round leader →
+relays → group members and aggregates the replies back up (the paper's
+PigPaxos overlay applied to the leaderless protocol); ``ThriftyFanout``
+targets only a fast-quorum-sized subset and falls back to a full broadcast
+on timeout.  Commit notifications are never thinned -- every replica needs
+them or its dependency graph stalls -- so only the voting legs are
+overlay-optimised.
+
 Simplifications relative to the full protocol (documented in DESIGN.md):
 explicit failure recovery of instances (the "explicit prepare" path) is not
 implemented because the paper's EPaxos experiments run without node failures;
@@ -41,6 +52,9 @@ from repro.epaxos.messages import (
     EPreAcceptReply,
     InstanceId,
 )
+from repro.net.message import Message
+from repro.overlay.base import FanoutOverlay
+from repro.overlay.messages import OverlayMessage
 from repro.protocol.base import Replica
 from repro.protocol.messages import ClientReply, ClientRequest
 from repro.quorum.systems import FastQuorum
@@ -89,8 +103,9 @@ class EPaxosReplica(Replica):
         self,
         quorum: Optional[FastQuorum] = None,
         session_window: int = DEFAULT_SESSION_WINDOW,
+        overlay: Optional[FanoutOverlay] = None,
     ) -> None:
-        super().__init__()
+        super().__init__(overlay=overlay)
         self._quorum = quorum
         self.store = KVStore()
         self.instances: Dict[InstanceId, _Instance] = {}
@@ -135,6 +150,10 @@ class EPaxosReplica(Replica):
     def start(self) -> None:
         """EPaxos needs no leader election; nothing to bootstrap."""
 
+    def reshuffle_groups(self) -> None:
+        """Re-deal this replica's relay groups (no-op for non-relay overlays)."""
+        self._overlay.reshuffle()
+
     # ------------------------------------------------------------------ dispatch
     def on_message(self, src: int, message: Any) -> None:
         if isinstance(message, ClientRequest):
@@ -149,8 +168,29 @@ class EPaxosReplica(Replica):
             self._on_accept_reply(src, message)
         elif isinstance(message, ECommit):
             self._on_commit(src, message)
+        elif isinstance(message, OverlayMessage):
+            if not self._overlay.handle_message(src, message):
+                self.count("unknown_message")
         else:
             self.count("unknown_message")
+
+    # ------------------------------------------------------------------ overlay host hooks
+    def process_for_overlay(self, src: int, inner: Message) -> Optional[Message]:
+        """Apply a relayed inner message locally; return the vote (if any).
+
+        Called by the relay overlay on relays and leaf followers so the
+        PreAccept/Accept vote can be aggregated up the tree instead of sent
+        straight back to the command leader.
+        """
+        if isinstance(inner, EPreAccept):
+            return self._handle_preaccept(inner)
+        if isinstance(inner, EAccept):
+            return self._handle_accept(inner)
+        if isinstance(inner, ECommit):
+            self._on_commit(src, inner)
+            return None
+        self.on_message(src, inner)
+        return None
 
     # ------------------------------------------------------------------ conflict tracking
     def _conflicts_for(self, command: Command, exclude: Optional[InstanceId] = None) -> Tuple[int, FrozenSet[InstanceId]]:
@@ -219,7 +259,11 @@ class EPaxosReplica(Replica):
             self._commit_instance(instance, seq, deps)
             return
         preaccept = EPreAccept(instance=instance_id, command=command, seq=seq, deps=deps)
-        self.broadcast(self.peers, preaccept)
+        self._overlay.wide_cast(
+            preaccept,
+            round_id=("pre", instance_id),
+            quorum_size=self.quorum.fast_path_size,
+        )
 
     @staticmethod
     def _register_vote(voters: Set[int], voter: int) -> bool:
@@ -248,6 +292,7 @@ class EPaxosReplica(Replica):
                 self._commit_instance(instance, instance.seq, instance.deps)
             else:
                 self.count("slow_path_rounds")
+                self._overlay.complete_round(("pre", instance.instance))
                 instance.status = _ACCEPTED
                 instance.seq = instance.merged_seq
                 instance.deps = instance.merged_deps
@@ -258,7 +303,11 @@ class EPaxosReplica(Replica):
                     seq=instance.seq,
                     deps=instance.deps,
                 )
-                self.broadcast(self.peers, accept)
+                self._overlay.wide_cast(
+                    accept,
+                    round_id=("acc", instance.instance),
+                    quorum_size=self.quorum.phase2_size,
+                )
 
     def _on_accept_reply(self, src: int, msg: EAcceptReply) -> None:
         instance = self.instances.get(msg.instance)
@@ -275,19 +324,26 @@ class EPaxosReplica(Replica):
     def _commit_instance(self, instance: _Instance, seq: int, deps: FrozenSet[InstanceId]) -> None:
         if instance.status in (_COMMITTED, _EXECUTED):
             return
+        self._overlay.complete_round(("pre", instance.instance))
+        self._overlay.complete_round(("acc", instance.instance))
         instance.status = _COMMITTED
         instance.seq = seq
         instance.deps = deps
         self.graph.add_committed(instance.instance, seq, deps)
         self.count("instances_committed")
         if self.peers:
+            # Commits are fire-and-forget and must reach *every* replica
+            # (a missed commit stalls every dependent instance), so the
+            # overlay never thins them -- relay trees forward them, thrifty
+            # falls back to plain broadcast.
             commit = ECommit(instance=instance.instance, command=instance.command, seq=seq, deps=deps)
-            self.broadcast(self.peers, commit)
+            self._overlay.wide_cast(commit, expects_response=False)
         self._pending_execution.add(instance.instance)
         self._try_execute()
 
     # ------------------------------------------------------------------ acceptor path
-    def _on_preaccept(self, src: int, msg: EPreAccept) -> None:
+    def _handle_preaccept(self, msg: EPreAccept) -> EPreAcceptReply:
+        """Acceptor logic for a PreAccept; returns the vote without sending it."""
         local_seq, local_deps = self._conflicts_for(msg.command, exclude=msg.instance)
         merged_seq = max(msg.seq, local_seq)
         merged_deps = msg.deps | local_deps
@@ -306,7 +362,7 @@ class EPaxosReplica(Replica):
         self.count("preaccepts_handled")
         # Dependency bookkeeping / conflict tracking cost (see NodeCPUModel docs).
         self.ctx.charge_overhead(1.0)
-        reply = EPreAcceptReply(
+        return EPreAcceptReply(
             instance=msg.instance,
             voter=self.node_id,
             ok=True,
@@ -314,9 +370,12 @@ class EPaxosReplica(Replica):
             deps=merged_deps,
             changed=changed,
         )
-        self.send(src, reply)
 
-    def _on_accept(self, src: int, msg: EAccept) -> None:
+    def _on_preaccept(self, src: int, msg: EPreAccept) -> None:
+        self.send(src, self._handle_preaccept(msg))
+
+    def _handle_accept(self, msg: EAccept) -> EAcceptReply:
+        """Acceptor logic for a slow-path Accept; returns the vote without sending it."""
         instance = self.instances.get(msg.instance)
         if instance is None:
             instance = _Instance(instance=msg.instance, command=msg.command, seq=msg.seq, deps=msg.deps)
@@ -326,7 +385,10 @@ class EPaxosReplica(Replica):
             instance.deps = msg.deps
             instance.status = _ACCEPTED
         self._record_key(msg.command, msg.instance)
-        self.send(src, EAcceptReply(instance=msg.instance, voter=self.node_id, ok=True))
+        return EAcceptReply(instance=msg.instance, voter=self.node_id, ok=True)
+
+    def _on_accept(self, src: int, msg: EAccept) -> None:
+        self.send(src, self._handle_accept(msg))
 
     def _on_commit(self, src: int, msg: ECommit) -> None:
         instance = self.instances.get(msg.instance)
@@ -421,6 +483,7 @@ class EPaxosReplica(Replica):
     def status(self) -> Dict[str, object]:
         return {
             "node": self.node_id,
+            "overlay": self._overlay.name,
             "instances": len(self.instances),
             "committed": self.graph.committed_count,
             "executed": self.graph.executed_count,

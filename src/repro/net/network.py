@@ -11,6 +11,14 @@ message:
 CPU cost of sending/receiving is *not* modelled here; it is charged by the
 node model (:mod:`repro.cluster.node`), because that per-message processing
 cost at the leader is exactly the bottleneck the paper is about.
+
+Communication-cost accounting: every attempted send increments global
+message/byte counters plus per-message-type pairs (``net.sent.<Kind>`` and
+``net.sent_bytes.<Kind>``); the nodes add per-node directional counters
+(``node.<id>.messages_in/out``, ``node.<id>.bytes_in/out``).  The helpers in
+:mod:`repro.sim.metrics` (``node_traffic``, ``bottleneck_node``) aggregate
+these into the paper-style "messages and bytes at the bottleneck node"
+tables emitted by ``benchmarks/bench_scenarios.py``.
 """
 
 from __future__ import annotations
@@ -112,11 +120,16 @@ class SimNetwork:
         self._sent_counter.increment()
         self._bytes_counter.increment(size)
         kind = envelope.kind
-        kind_counter = self._kind_counters.get(kind)
-        if kind_counter is None:
-            kind_counter = self._metrics.counter(f"net.sent.{kind}")
-            self._kind_counters[kind] = kind_counter
+        counters = self._kind_counters.get(kind)
+        if counters is None:
+            counters = (
+                self._metrics.counter(f"net.sent.{kind}"),
+                self._metrics.counter(f"net.sent_bytes.{kind}"),
+            )
+            self._kind_counters[kind] = counters
+        kind_counter, kind_bytes_counter = counters
         kind_counter.increment()
+        kind_bytes_counter.increment(size)
 
         if self._faults.should_drop(src, dst, self._rng):
             self._dropped_counter.increment()

@@ -6,9 +6,17 @@ Paxos and PigPaxos; to reproduce that, every message is assigned a wire size:
     size = header_bytes + payload_bytes
 
 ``payload_bytes`` comes from the message itself (``Message.payload_bytes``),
-so an aggregated PigPaxos response containing k follower votes is bigger than
-a single vote, and a Phase-2a carrying a 1280-byte value is bigger than one
+so an aggregated relay response containing k follower votes is bigger than a
+single vote, and a Phase-2a carrying a 1280-byte value is bigger than one
 carrying an 8-byte value.
+
+The size computed here feeds every layer of the communication-cost
+accounting: transmission delay (:mod:`repro.net.topology`), CPU send/receive
+cost (:mod:`repro.cluster.cpu`), the global and per-message-type byte
+counters (:mod:`repro.net.network`), and the per-node ``bytes_in/out``
+counters (:mod:`repro.cluster.node`) that
+:func:`repro.sim.metrics.bottleneck_node` aggregates for the paper-style
+protocol x overlay tables.
 """
 
 from __future__ import annotations

@@ -1,0 +1,131 @@
+"""The fan-out overlay interface.
+
+A :class:`FanoutOverlay` decides *how* a replica's wide-cast messages reach
+the rest of the cluster: directly (one message per peer), through relay
+trees (PigPaxos-style, one message per relay group), or thriftily (only a
+quorum-sized subset, with a fallback re-send on timeout).  Replicas route
+every wide-cast through their overlay instead of calling
+``broadcast(peers, ...)`` themselves, which is what makes the paper's
+communication-cost comparison a pluggable axis instead of a Multi-Paxos
+special case.
+
+The overlay talks back to its hosting replica through the narrow
+:class:`OverlayHost` surface: sending, scheduling, processing a wrapped
+inner message as a follower (returning the response instead of sending it),
+and delivering unwrapped responses into ordinary message handling.
+
+Example (unit-style, with the test FakeContext stand-in)::
+
+    from repro.overlay import DirectFanout
+    from repro.epaxos.replica import EPaxosReplica
+
+    replica = EPaxosReplica(overlay=DirectFanout())   # the default
+    # after bind(), every PreAccept/Accept/Commit wide-cast goes through
+    # replica.overlay.wide_cast(...)
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Any, Hashable, List, Optional, Protocol, Sequence
+
+from repro.net.message import Message
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.protocol.base import NodeContext
+
+
+class OverlayHost(Protocol):
+    """What a fan-out overlay may ask of the replica hosting it.
+
+    Implemented by :class:`repro.protocol.base.Replica`: ``ctx`` exposes the
+    node context (send/schedule/rng/metrics), ``process_for_overlay`` applies
+    a relayed inner message locally and *returns* the response so a relay
+    can aggregate it, and ``deliver_reply`` feeds an unwrapped response into
+    the replica's ordinary dispatch.
+    """
+
+    protocol_name: str
+
+    @property
+    def ctx(self) -> "NodeContext": ...
+
+    @property
+    def node_id(self) -> int: ...
+
+    @property
+    def peers(self) -> List[int]: ...
+
+    def send(self, dst: int, message: Any) -> None: ...
+
+    def count(self, name: str, amount: float = 1.0) -> None: ...
+
+    def process_for_overlay(self, src: int, inner: Message) -> Optional[Message]: ...
+
+    def deliver_reply(self, src: int, response: Message) -> None: ...
+
+
+class FanoutOverlay(ABC):
+    """Strategy object replicas use for wide-cast (one-to-many) messaging.
+
+    Lifecycle: constructed per replica (never shared between replicas),
+    bound to its host once via :meth:`bind`, then driven entirely by the
+    host: :meth:`wide_cast` on the send side, :meth:`handle_message` for any
+    :class:`~repro.overlay.messages.OverlayMessage` arriving off the wire,
+    :meth:`complete_round`/:meth:`on_crash` for lifecycle notifications.
+    """
+
+    name = "abstract"
+
+    def __init__(self) -> None:
+        self._host: Optional[OverlayHost] = None
+
+    def bind(self, host: OverlayHost) -> None:
+        """Attach the overlay to its hosting replica (exactly once)."""
+        if self._host is not None and self._host is not host:
+            raise RuntimeError(
+                f"{type(self).__name__} is already bound to node "
+                f"{self._host.node_id}; overlays must not be shared between replicas"
+            )
+        self._host = host
+
+    @property
+    def host(self) -> OverlayHost:
+        if self._host is None:
+            raise RuntimeError(f"{type(self).__name__} used before bind()")
+        return self._host
+
+    # ------------------------------------------------------------------ sending
+    @abstractmethod
+    def wide_cast(
+        self,
+        message: Message,
+        *,
+        expects_response: bool = True,
+        round_id: Optional[Hashable] = None,
+        quorum_size: Optional[int] = None,
+        exclude: Optional[set] = None,
+    ) -> Sequence[int]:
+        """Disseminate ``message`` to the host's peers; returns first-hop targets.
+
+        ``round_id``/``quorum_size`` describe the voting round the message
+        opens (thrifty overlays use them to size the subset and arm the
+        fallback); ``expects_response`` is False for fire-and-forget traffic
+        (heartbeats, commit notifications) that every peer must still
+        receive; ``exclude`` names peers the host believes are down.
+        """
+
+    def complete_round(self, round_id: Hashable) -> None:
+        """The host reached quorum for ``round_id``; cancel any fallback."""
+
+    # ------------------------------------------------------------------ receiving
+    def handle_message(self, src: int, message: Message) -> bool:
+        """Handle an overlay wrapper message; False when not recognised."""
+        return False
+
+    # ------------------------------------------------------------------ lifecycle
+    def reshuffle(self) -> None:
+        """Re-randomise any topology state (relay groups); default no-op."""
+
+    def on_crash(self) -> None:
+        """Drop volatile overlay state when the host node crashes."""

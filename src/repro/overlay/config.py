@@ -1,0 +1,126 @@
+"""Declarative configuration for the fan-out overlay.
+
+``OverlayConfig`` is the serialisable description of *which* fan-out
+strategy a replica should use and how it is tuned; ``build_overlay`` turns
+it into a fresh :class:`~repro.overlay.base.FanoutOverlay` instance (one per
+replica -- overlays hold per-node state and must never be shared).
+
+It rides into the stack through ``ProtocolConfig.overlay``, the
+``ClusterBuilder.overlay(...)`` fluent setter, or a scenario's
+``config_overrides``::
+
+    Scenario(
+        name="epaxos-relay",
+        protocol="epaxos",
+        config_overrides={"overlay": {"kind": "relay", "num_groups": 3}},
+        ...
+    )
+
+Mappings coerce to ``OverlayConfig`` automatically, so scenario specs stay
+plain data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Union
+
+from repro.errors import ConfigurationError
+
+#: Every fan-out strategy the factory knows how to build.
+OVERLAY_KINDS = ("direct", "relay", "thrifty")
+
+
+@dataclass(frozen=True)
+class OverlayConfig:
+    """Tuning knobs for one replica's fan-out overlay.
+
+    Attributes:
+        kind: ``"direct"`` (all-to-all broadcast), ``"relay"`` (PigPaxos
+            relay trees) or ``"thrifty"`` (quorum-subset with fallback).
+        num_groups: Relay-group count (relay overlay only).
+        use_region_groups: Align relay groups with topology regions when a
+            region map is available (the WAN deployment of Figure 9).
+        relay_timeout: How long a relay waits for its subtree before
+            flushing a partial aggregate.
+        relay_timeout_decay: Timeout multiplier per extra tree level.
+        group_response_threshold: Optional fraction of a group a relay
+            waits for before flushing early (Section 4.2); ``None`` waits
+            for the whole group.
+        relay_levels: Relay-tree depth (1 = the paper's single layer).
+        fixed_relays: Disable per-round relay rotation (ablation).
+        thrifty_fallback_timeout: How long a thrifty round may stay
+            incomplete before the message is re-sent to every peer.
+    """
+
+    kind: str = "direct"
+    num_groups: int = 3
+    use_region_groups: bool = False
+    relay_timeout: float = 0.05
+    relay_timeout_decay: float = 0.5
+    group_response_threshold: Optional[float] = None
+    relay_levels: int = 1
+    fixed_relays: bool = False
+    thrifty_fallback_timeout: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.kind not in OVERLAY_KINDS:
+            raise ConfigurationError(
+                f"unknown overlay kind {self.kind!r}; expected one of {OVERLAY_KINDS}"
+            )
+        if self.num_groups < 1:
+            raise ConfigurationError("num_groups must be >= 1")
+        if self.relay_timeout <= 0:
+            raise ConfigurationError("relay_timeout must be positive")
+        if self.relay_levels < 1:
+            raise ConfigurationError("relay_levels must be >= 1")
+        if self.group_response_threshold is not None and not 0.0 < self.group_response_threshold <= 1.0:
+            raise ConfigurationError("group_response_threshold must be in (0, 1]")
+        if self.thrifty_fallback_timeout <= 0:
+            raise ConfigurationError("thrifty_fallback_timeout must be positive")
+
+    @classmethod
+    def coerce(cls, value: Union["OverlayConfig", str, Mapping, None]) -> Optional["OverlayConfig"]:
+        """Accept an OverlayConfig, a kind string, or a mapping of fields."""
+        if value is None or isinstance(value, cls):
+            return value
+        if isinstance(value, str):
+            return cls(kind=value)
+        if isinstance(value, Mapping):
+            return cls(**dict(value))
+        raise ConfigurationError(
+            f"cannot interpret {value!r} as an overlay configuration; "
+            "pass an OverlayConfig, a kind string, or a mapping"
+        )
+
+
+def build_overlay(
+    config: Optional[OverlayConfig],
+    region_of: Optional[Dict[int, str]] = None,
+):
+    """Instantiate a fresh overlay for one replica from its config.
+
+    ``None`` (and kind ``"direct"``) build the status-quo broadcast;
+    ``region_of`` feeds the relay overlay's region-aligned grouping and is
+    ignored by the other kinds.
+    """
+    from repro.overlay.direct import DirectFanout
+    from repro.overlay.relay import RelayFanout
+    from repro.overlay.thrifty import ThriftyFanout
+
+    if config is None or config.kind == "direct":
+        return DirectFanout()
+    if config.kind == "relay":
+        return RelayFanout(
+            num_groups=config.num_groups,
+            use_region_groups=config.use_region_groups,
+            region_of=region_of,
+            relay_timeout=config.relay_timeout,
+            timeout_decay=config.relay_timeout_decay,
+            response_threshold=config.group_response_threshold,
+            levels=config.relay_levels,
+            fixed_relays=config.fixed_relays,
+        )
+    if config.kind == "thrifty":
+        return ThriftyFanout(fallback_timeout=config.thrifty_fallback_timeout)
+    raise ConfigurationError(f"unknown overlay kind {config.kind!r}")

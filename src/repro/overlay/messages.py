@@ -1,0 +1,104 @@
+"""Wire messages of the relay fan-out overlay.
+
+The relay overlay wraps ordinary protocol messages: a :class:`RelayRequest`
+carries the inner message (P1a, P2a, EPreAccept, ECommit...) plus the
+subtree the recipient is responsible for, and a :class:`RelayAggregate`
+carries the inner responses collected within that subtree back towards the
+node that started the fan-out.
+
+Aggregation saves per-message header overhead and -- crucially for the
+paper's WAN argument (Section 6.4) -- reduces the number of messages the
+fan-out root sends and receives, but it does not shrink the payloads
+themselves: ``RelayAggregate.payload_bytes`` is the sum of its children's
+payloads.
+
+``PigRelayRequest`` and ``PigAggregate`` in :mod:`repro.core.messages` are
+aliases of these classes: PigPaxos was the first user of the relay overlay
+and its wire format did not change when the machinery was generalised for
+EPaxos.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.net.message import Message
+
+
+class OverlayMessage(Message):
+    """Marker base class for overlay-level wrapper messages.
+
+    Replica dispatch uses it to hand any overlay traffic to the replica's
+    bound :class:`~repro.overlay.base.FanoutOverlay` without knowing which
+    overlay (if any) is installed.
+    """
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class RelaySubtree:
+    """One node of the relay tree, with the subtrees it must fan out to."""
+
+    node_id: int
+    children: Tuple["RelaySubtree", ...] = ()
+
+    def size(self) -> int:
+        """Total number of nodes in this subtree (including this node)."""
+        return 1 + sum(child.size() for child in self.children)
+
+    def depth(self) -> int:
+        if not self.children:
+            return 1
+        return 1 + max(child.depth() for child in self.children)
+
+    def all_nodes(self) -> Tuple[int, ...]:
+        nodes = [self.node_id]
+        for child in self.children:
+            nodes.extend(child.all_nodes())
+        return tuple(nodes)
+
+
+@dataclass(frozen=True)
+class RelayRequest(OverlayMessage):
+    """A wrapped fan-out message travelling down the relay tree.
+
+    Attributes:
+        inner: The ordinary protocol message being disseminated.
+        children: Subtrees this recipient must forward the message to.
+        agg_id: Aggregation session id; the recipient's RelayAggregate reply
+            carries the same id so the parent can match it.  Ids embed the
+            fan-out root's node id, so concurrent fan-outs from different
+            roots (every EPaxos replica is one) never collide.
+        timeout: How long the recipient may wait for its children before
+            flushing a partial aggregate.
+        expects_response: False for pure fan-out traffic (heartbeats,
+            commit notifications) where the root does not need the fan-in
+            leg.
+    """
+
+    inner: Message
+    children: Tuple[RelaySubtree, ...]
+    agg_id: int
+    timeout: float
+    expects_response: bool = True
+
+    def payload_bytes(self) -> int:
+        inner_payload = self.inner.payload_bytes()
+        # The membership list adds ~4 bytes per node id mentioned in the tree.
+        membership = 4 * sum(subtree.size() for subtree in self.children)
+        return inner_payload + membership
+
+
+@dataclass(frozen=True)
+class RelayAggregate(OverlayMessage):
+    """Aggregated responses travelling back up the relay tree."""
+
+    agg_id: int
+    responses: Tuple[Message, ...]
+    origin: int = -1
+    complete: bool = True
+
+    def payload_bytes(self) -> int:
+        return sum(response.payload_bytes() + 8 for response in self.responses)

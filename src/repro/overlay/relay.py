@@ -1,0 +1,306 @@
+"""Relay-tree fan-out: the paper's PigPaxos overlay, generalised.
+
+``RelayFanout`` partitions the host's peers into relay groups and, per
+wide-cast, picks one random member of each group as that round's relay
+(:mod:`repro.overlay.groups`).  The wrapped message travels root → relays →
+group members; responses aggregate back up the tree under a tight timeout,
+so the fan-out root sends and receives one message per *group* instead of
+one per *node* -- the communication-cost reduction at the heart of
+conf_sigmod_CharapkoAD21.
+
+This is the machinery that used to live inside ``PigPaxosReplica``; pulling
+it out lets EPaxos route PreAccept/Accept rounds (and commit notifications)
+through the very same trees, turning the paper's Multi-Paxos result into a
+protocol-agnostic subsystem.  Robustness properties are preserved verbatim:
+
+* a relay that times out (or hits its early-flush threshold) sends a
+  partial aggregate, and *still forwards* late child responses towards the
+  root afterwards instead of dropping votes the root may need;
+* relays rotate every round, so a crashed relay only costs the rounds in
+  flight; :meth:`reshuffle` additionally re-deals group membership
+  (Section 4.1);
+* aggregate accounting counts distinct children only, so a child that
+  flushes twice cannot mark a session complete while another child is
+  silent.
+
+Example::
+
+    from repro.overlay import RelayFanout
+
+    overlay = RelayFanout(num_groups=3, relay_timeout=0.05)
+    # installed via EPaxosReplica(overlay=overlay) or, for PigPaxos,
+    # built automatically from PigPaxosConfig.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional
+
+from repro.net.message import Message
+from repro.overlay.base import FanoutOverlay, OverlayHost
+from repro.overlay.groups import RelayGroupPlan, region_groups, round_robin_groups
+from repro.overlay.messages import RelayAggregate, RelayRequest, RelaySubtree
+
+
+@dataclass
+class _AggregationSession:
+    """State a relay keeps while gathering responses for one round."""
+
+    agg_id: int
+    parent: int
+    expected_children: int
+    responses: List[Message] = field(default_factory=list)
+    children_heard: int = 0
+    children_seen: set = field(default_factory=set)
+    threshold: Optional[int] = None
+    timer: Optional[object] = None
+    flushed: bool = False
+
+
+class RelayFanout(FanoutOverlay):
+    """Fan out through per-round relay trees and aggregate replies back up."""
+
+    name = "relay"
+
+    #: How many flushed sessions to remember for late-response forwarding.
+    _FLUSHED_SESSION_MEMORY = 256
+
+    def __init__(
+        self,
+        num_groups: int = 3,
+        use_region_groups: bool = False,
+        region_of: Optional[Dict[int, str]] = None,
+        relay_timeout: float = 0.05,
+        timeout_decay: float = 0.5,
+        response_threshold: Optional[float] = None,
+        levels: int = 1,
+        fixed_relays: bool = False,
+    ) -> None:
+        super().__init__()
+        self.num_groups = num_groups
+        self.use_region_groups = use_region_groups
+        self.region_of = dict(region_of or {})
+        self.relay_timeout = relay_timeout
+        self.timeout_decay = timeout_decay
+        self.response_threshold = response_threshold
+        self.levels = levels
+        self.fixed_relays = fixed_relays
+
+        self._plan: Optional[RelayGroupPlan] = None
+        self._sessions: Dict[int, _AggregationSession] = {}
+        self._agg_counter = 0
+        # Parents of recently flushed sessions, so late child responses can
+        # still be forwarded towards the fan-out root instead of being lost.
+        self._flushed_parents: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------ groups
+    def plan(self) -> RelayGroupPlan:
+        """The current partition of the host's peers into relay groups."""
+        if self._plan is None:
+            followers = sorted(self.host.peers)
+            if self.use_region_groups and self.region_of:
+                groups = region_groups(followers, self.region_of)
+            else:
+                groups = round_robin_groups(followers, self.num_groups)
+            self._plan = RelayGroupPlan(groups=groups)
+        return self._plan
+
+    def set_plan(self, groups: List[List[int]]) -> None:
+        """Install an explicit group layout (used by tests and ablations)."""
+        self._plan = RelayGroupPlan(groups=[list(group) for group in groups])
+
+    def reshuffle(self) -> RelayGroupPlan:
+        """Dynamically reconfigure relay groups (Section 4.1)."""
+        self._plan = self.plan().reshuffle(self.host.ctx.rng)
+        self.host.count("group_reshuffles")
+        return self._plan
+
+    # ------------------------------------------------------------------ sending
+    def wide_cast(
+        self,
+        message: Message,
+        *,
+        expects_response: bool = True,
+        round_id: Optional[Hashable] = None,
+        quorum_size: Optional[int] = None,
+        exclude: Optional[set] = None,
+    ) -> List[int]:
+        """Send ``message`` down one freshly built relay tree per group."""
+        trees = self.plan().build_trees(
+            rng=self.host.ctx.rng,
+            levels=self.levels,
+            fixed_relays=self.fixed_relays,
+            exclude=exclude,
+        )
+        self._agg_counter += 1
+        agg_id = self.host.node_id * 1_000_000_000 + self._agg_counter
+        relays: List[int] = []
+        for tree in trees:
+            request = RelayRequest(
+                inner=message,
+                children=tree.children,
+                agg_id=agg_id,
+                timeout=self.relay_timeout,
+                expects_response=expects_response,
+            )
+            self.host.send(tree.node_id, request)
+            relays.append(tree.node_id)
+        self.host.count("relay_fanouts")
+        return relays
+
+    # ------------------------------------------------------------------ receiving
+    def handle_message(self, src: int, message: Message) -> bool:
+        if isinstance(message, RelayRequest):
+            self._on_relay_request(src, message)
+            return True
+        if isinstance(message, RelayAggregate):
+            self._on_aggregate(src, message)
+            return True
+        return False
+
+    # ------------------------------------------------------------------ relay / follower role
+    def _on_relay_request(self, src: int, msg: RelayRequest) -> None:
+        if msg.expects_response and (
+            msg.agg_id in self._sessions or msg.agg_id in self._flushed_parents
+        ):
+            # Duplicate delivery of a request we are already serving (or just
+            # served): opening a fresh session would discard the votes the
+            # live session already collected, and the superseded session's
+            # timer would flush the replacement early.  Leaf followers have
+            # no session to protect; their repeated replies are deduplicated
+            # upstream (children_seen / per-voter accounting).
+            self.host.count("duplicate_relay_requests_ignored")
+            return
+        own_response = self.host.process_for_overlay(src, msg.inner)
+
+        if not msg.expects_response:
+            # Pure fan-out traffic (heartbeats, commits): forward and stop.
+            for child in msg.children:
+                self._forward_to_child(child, msg)
+            return
+
+        if not msg.children:
+            # Leaf follower: answer the relay immediately.
+            responses = (own_response,) if own_response is not None else ()
+            self.host.send(
+                src, RelayAggregate(agg_id=msg.agg_id, responses=responses, origin=self.host.node_id)
+            )
+            return
+
+        # Relay role: open an aggregation session, forward to the subtree.
+        session = _AggregationSession(
+            agg_id=msg.agg_id,
+            parent=src,
+            expected_children=len(msg.children),
+            threshold=self._threshold_for(len(msg.children)),
+        )
+        if own_response is not None:
+            session.responses.append(own_response)
+        self._sessions[msg.agg_id] = session
+        session.timer = self.host.ctx.schedule(msg.timeout, self._session_timeout, msg.agg_id)
+        for child in msg.children:
+            self._forward_to_child(child, msg)
+        self.host.count("relay_rounds")
+
+    def _forward_to_child(self, child: RelaySubtree, msg: RelayRequest) -> None:
+        child_timeout = max(msg.timeout * self.timeout_decay, 0.001)
+        self.host.send(
+            child.node_id,
+            RelayRequest(
+                inner=msg.inner,
+                children=child.children,
+                agg_id=msg.agg_id,
+                timeout=child_timeout,
+                expects_response=msg.expects_response,
+            ),
+        )
+
+    def _threshold_for(self, num_children: int) -> Optional[int]:
+        if self.response_threshold is None:
+            return None
+        return max(1, math.ceil(self.response_threshold * num_children))
+
+    def _on_aggregate(self, src: int, msg: RelayAggregate) -> None:
+        session = self._sessions.get(msg.agg_id)
+        if session is not None and not session.flushed:
+            # Count distinct children only: a child relay that flushed early
+            # may send a second aggregate when its own stragglers arrive, and
+            # double-counting it would flush this session "complete" while a
+            # different child never reported.
+            if msg.origin not in session.children_seen:
+                session.children_seen.add(msg.origin)
+                session.children_heard += 1
+            session.responses.extend(msg.responses)
+            done = session.children_heard >= session.expected_children
+            early = session.threshold is not None and session.children_heard >= session.threshold
+            if done or early:
+                self._flush_session(session, complete=done)
+            return
+
+        parent = self._flushed_parents.get(msg.agg_id)
+        if parent is not None:
+            # Late child responses for a session this relay already flushed
+            # (timeout or early threshold).  The fan-out root may still need
+            # these votes to reach quorum, so forward them up the tree rather
+            # than swallowing them; duplicates are idempotent at the root.
+            if msg.responses:
+                self.host.count("late_responses_forwarded")
+                self.host.send(
+                    parent,
+                    RelayAggregate(
+                        agg_id=msg.agg_id,
+                        responses=msg.responses,
+                        origin=self.host.node_id,
+                        complete=False,
+                    ),
+                )
+            else:
+                self.host.count("late_aggregates_dropped")
+            return
+
+        if msg.responses:
+            # No session was ever open for this id: we are the top of the
+            # tree (the round's fan-out root).  Unwrap and feed each vote
+            # into ordinary handling; stale votes are ignored there.
+            for response in msg.responses:
+                self.host.deliver_reply(src, response)
+        else:
+            self.host.count("late_aggregates_dropped")
+
+    def _session_timeout(self, agg_id: int) -> None:
+        session = self._sessions.get(agg_id)
+        if session is None or session.flushed:
+            return
+        self.host.count("relay_timeouts")
+        self._flush_session(session, complete=False)
+
+    def _flush_session(self, session: _AggregationSession, complete: bool) -> None:
+        session.flushed = True
+        if session.timer is not None:
+            session.timer.cancel()
+        self._sessions.pop(session.agg_id, None)
+        self._flushed_parents[session.agg_id] = session.parent
+        while len(self._flushed_parents) > self._FLUSHED_SESSION_MEMORY:
+            self._flushed_parents.pop(next(iter(self._flushed_parents)))
+        aggregate = RelayAggregate(
+            agg_id=session.agg_id,
+            responses=tuple(session.responses),
+            origin=self.host.node_id,
+            complete=complete,
+        )
+        self.host.send(session.parent, aggregate)
+
+    # ------------------------------------------------------------------ lifecycle
+    def on_crash(self) -> None:
+        for session in self._sessions.values():
+            if session.timer is not None:
+                session.timer.cancel()
+        self._sessions.clear()
+        self._flushed_parents.clear()
+
+    # ------------------------------------------------------------------ introspection
+    @property
+    def open_sessions(self) -> int:
+        return len(self._sessions)

@@ -1,12 +1,13 @@
 """Multi-Paxos replica with a stable leader and commit piggybacking.
 
 The replica plays all three classical roles (proposer, acceptor, learner).
-It exposes two fan-out hooks, :meth:`_fanout_phase1` and
-:meth:`_fanout_phase2`, which broadcast directly to every follower here and
-are overridden by PigPaxos (:mod:`repro.core.replica`) to route through relay
-groups instead -- that override is the *only* behavioural difference between
-the two protocols, mirroring how the paper's implementation changed only the
-message-passing layer.
+Its phase-1/phase-2/heartbeat fan-outs route through the replica's
+:class:`~repro.overlay.base.FanoutOverlay` -- :class:`DirectFanout` by
+default (plain broadcast), :class:`ThriftyFanout` for quorum-subset sends,
+and :class:`RelayFanout` when hosted by PigPaxos
+(:mod:`repro.core.replica`), which changes *only* this message-passing
+layer, mirroring how the paper's implementation reused Paxos' correctness
+argument unchanged.
 """
 
 from __future__ import annotations
@@ -14,6 +15,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.overlay.base import FanoutOverlay
+from repro.overlay.messages import OverlayMessage, RelayAggregate, RelayRequest
 from repro.protocol.ballot import Ballot
 from repro.protocol.base import Replica, TimerLike
 from repro.protocol.config import ProtocolConfig
@@ -59,8 +62,9 @@ class MultiPaxosReplica(Replica):
         self,
         config: Optional[ProtocolConfig] = None,
         quorum: Optional[QuorumSystem] = None,
+        overlay: Optional[FanoutOverlay] = None,
     ) -> None:
-        super().__init__()
+        super().__init__(overlay=overlay)
         self.config = config or ProtocolConfig()
         self._quorum = quorum
 
@@ -134,7 +138,28 @@ class MultiPaxosReplica(Replica):
             Heartbeat: self._on_heartbeat,
             FillRequest: self._on_fill_request,
             FillReply: self._on_fill_reply,
+            RelayRequest: self._on_overlay_message,
+            RelayAggregate: self._on_overlay_message,
         }
+
+    def _on_overlay_message(self, src: int, msg: OverlayMessage) -> None:
+        if not self._overlay.handle_message(src, msg):
+            self.count("unknown_message")
+
+    # ------------------------------------------------------------------ overlay host hooks
+    def process_for_overlay(self, src: int, inner: Any) -> Optional[Any]:
+        """Apply a relayed inner message as a follower; return the vote (if any)."""
+        if isinstance(inner, P2a):
+            return self._process_p2a(inner)
+        if isinstance(inner, P1a):
+            return self._process_p1a(inner)
+        if isinstance(inner, Heartbeat):
+            self._on_heartbeat(src, inner)
+            return None
+        # Fall back to ordinary handling for anything else wrapped by the
+        # overlay (e.g. explicit Commit messages).
+        self.on_message(src, inner)
+        return None
 
     # ------------------------------------------------------------------ phase 1
     def _start_phase1(self) -> None:
@@ -164,8 +189,10 @@ class MultiPaxosReplica(Replica):
         self._start_phase1()
 
     def _fanout_phase1(self, p1a: P1a) -> None:
-        """Broadcast phase-1a directly to every follower (overridden by PigPaxos)."""
-        self.broadcast(self.peers, p1a)
+        """Disseminate phase-1a through the fan-out overlay."""
+        self._overlay.wide_cast(
+            p1a, round_id=("p1", p1a.ballot), quorum_size=self.quorum.phase1_size
+        )
 
     def _accepted_entries(self) -> Dict[int, Tuple[Ballot, object]]:
         """This node's accepted-but-possibly-uncommitted entries, for P1b."""
@@ -207,6 +234,7 @@ class MultiPaxosReplica(Replica):
         self.is_leader = True
         self.leader_id = self.node_id
         self.count("became_leader")
+        self._overlay.complete_round(("p1", self.ballot))
 
         # Re-propose every command reported by the promise quorum, fill gaps
         # with no-ops.  Slots at or below the quorum's committed frontier are
@@ -321,8 +349,12 @@ class MultiPaxosReplica(Replica):
         self._fanout_phase2(p2a, proposal)
 
     def _fanout_phase2(self, p2a: P2a, proposal: _Proposal) -> None:
-        """Send phase-2a directly to every follower (overridden by PigPaxos)."""
-        self.broadcast(self.peers, p2a)
+        """Disseminate phase-2a through the fan-out overlay (PigPaxos adds retries)."""
+        self._overlay.wide_cast(
+            p2a,
+            round_id=("p2", p2a.ballot, p2a.slot),
+            quorum_size=self.quorum.phase2_size,
+        )
 
     # ------------------------------------------------------------------ acceptor path
     def _process_p2a(self, msg: P2a) -> P2b:
@@ -361,6 +393,7 @@ class MultiPaxosReplica(Replica):
         proposal.committed = True
         if proposal.retry_timer is not None:
             proposal.retry_timer.cancel()
+        self._overlay.complete_round(("p2", self.ballot, slot))
         self.log.commit(slot, self.ballot, proposal.command)
         self.count("slots_committed")
         self._advance_commit_frontier()
@@ -513,8 +546,8 @@ class MultiPaxosReplica(Replica):
         self._schedule_heartbeat()
 
     def _fanout_heartbeat(self, heartbeat: Heartbeat) -> None:
-        """Broadcast the heartbeat directly (overridden by PigPaxos)."""
-        self.broadcast(self.peers, heartbeat)
+        """Disseminate the heartbeat; never thinned (every follower needs it)."""
+        self._overlay.wide_cast(heartbeat, expects_response=False)
 
     def _on_heartbeat(self, src: int, msg: Heartbeat) -> None:
         if msg.ballot >= self.promised:
@@ -534,7 +567,8 @@ class MultiPaxosReplica(Replica):
     # ------------------------------------------------------------------ crash / recover
     def on_crash(self) -> None:
         # Promised ballot, log and store model stable storage and survive;
-        # leader-volatile state does not.
+        # leader-volatile state (and overlay session state) does not.
+        super().on_crash()
         self.is_leader = False
         self._proposals.clear()
         self._pending_requests.clear()

@@ -5,6 +5,11 @@ and timer callbacks, and it affects the world only through its
 :class:`NodeContext`.  The context is implemented by
 :class:`repro.cluster.node.SimNode` for simulation and by
 :class:`repro.runtime.server.AsyncNodeContext` for the asyncio runtime.
+
+Every replica also owns a :class:`~repro.overlay.base.FanoutOverlay` through
+which it routes wide-cast (one-to-many) messages; the base class provides
+the :class:`~repro.overlay.base.OverlayHost` hooks the overlay calls back
+into (``process_for_overlay``, ``deliver_reply``).
 """
 
 from __future__ import annotations
@@ -13,6 +18,8 @@ import random
 from abc import ABC, abstractmethod
 from typing import Any, Callable, Iterable, List, Optional, Protocol, Sequence
 
+from repro.overlay.base import FanoutOverlay
+from repro.overlay.direct import DirectFanout
 from repro.sim.metrics import MetricsRegistry
 
 
@@ -69,13 +76,20 @@ class Replica(ABC):
 
     protocol_name = "abstract"
 
-    def __init__(self) -> None:
+    def __init__(self, overlay: Optional[FanoutOverlay] = None) -> None:
         self._ctx: Optional[NodeContext] = None
+        self._overlay: FanoutOverlay = overlay or DirectFanout()
+        self._overlay.bind(self)
 
     # ----------------------------------------------------------------- wiring
     def bind(self, ctx: NodeContext) -> None:
         """Attach the replica to its host node context."""
         self._ctx = ctx
+
+    @property
+    def overlay(self) -> FanoutOverlay:
+        """The fan-out overlay this replica's wide-casts route through."""
+        return self._overlay
 
     @property
     def ctx(self) -> NodeContext:
@@ -106,9 +120,28 @@ class Replica(ABC):
 
     def on_crash(self) -> None:
         """Called when the host node crashes (volatile state may be dropped)."""
+        self._overlay.on_crash()
 
     def on_recover(self) -> None:
         """Called when the host node recovers from a crash."""
+
+    # ----------------------------------------------------------------- overlay host hooks
+    def process_for_overlay(self, src: int, inner: Any) -> Optional[Any]:
+        """Apply a relayed inner message locally; return the response (if any).
+
+        The relay overlay needs the response *returned* rather than sent so
+        it can aggregate it with its subtree's responses.  The default just
+        feeds the message through ordinary dispatch (correct for protocols
+        that only ever see fire-and-forget traffic relayed); protocols whose
+        voting rounds travel through relay trees override this to capture
+        the vote.
+        """
+        self.on_message(src, inner)
+        return None
+
+    def deliver_reply(self, src: int, response: Any) -> None:
+        """Feed an unwrapped overlay response into ordinary message handling."""
+        self.on_message(src, response)
 
     # ----------------------------------------------------------------- helpers
     def send(self, dst: int, message: Any) -> None:

@@ -3,8 +3,10 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional, Union
 
 from repro.errors import ConfigurationError
+from repro.overlay.config import OverlayConfig
 from repro.statemachine.sessions import DEFAULT_SESSION_WINDOW
 
 
@@ -27,6 +29,12 @@ class ProtocolConfig:
         session_window: Per-client at-most-once dedup window -- how many of
             a client's most recently applied request results each replica
             retains (see :mod:`repro.statemachine.sessions`).
+        overlay: Fan-out overlay for wide-cast messages
+            (:class:`~repro.overlay.config.OverlayConfig`, a kind string, or
+            a mapping of its fields; ``None`` means the protocol's default
+            -- direct broadcast for Multi-Paxos and EPaxos).  PigPaxos *is*
+            the relay overlay and configures it through
+            :class:`~repro.core.config.PigPaxosConfig` instead.
     """
 
     heartbeat_interval: float = 0.05
@@ -36,8 +44,10 @@ class ProtocolConfig:
     fill_gap_timeout: float = 0.1
     initial_leader: int = 0
     session_window: int = DEFAULT_SESSION_WINDOW
+    overlay: Optional[Union[OverlayConfig, str, dict]] = None
 
     def __post_init__(self) -> None:
+        self.overlay = OverlayConfig.coerce(self.overlay)
         if self.heartbeat_interval <= 0:
             raise ConfigurationError("heartbeat_interval must be positive")
         if self.session_window < 1:

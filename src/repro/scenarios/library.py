@@ -9,7 +9,11 @@ contention storms (the paper's worst case for dependency tracking), drop
 storms, node crashes (which, without the explicit-prepare recovery path,
 degrade liveness of orphaned instances but must never break safety),
 partitions, and duplicate-delivery torture (retransmission storms that bite
-on any reply-counting bug).  Each scenario runs with the linearizability
+on any reply-counting bug).  The overlay family exercises the pluggable
+fan-out layer: EPaxos PreAccept/Accept rounds through WAN relay trees,
+relay-group churn under a drop storm, and thrifty (quorum-subset) rounds
+whose fallback broadcast must hold a ``progress`` liveness floor under
+crashes and severed links.  Each scenario runs with the linearizability
 checker plus its protocol's invariant family enabled, so
 ``run_scenario(s).raise_on_violations()`` is a one-line whole-stack safety
 test.
@@ -242,6 +246,78 @@ def _scenarios() -> List[Scenario]:
             ),
             description="A minority is cut off; its instances stall while the majority commits, then heals.",
         ),
+        # -------------------------------------------------- EPaxos overlays
+        Scenario(
+            name="epaxos-relay-wan-9",
+            protocol="epaxos",
+            num_nodes=9,
+            wan=True,
+            num_clients=6,
+            duration=2.5,
+            seed=61,
+            client_timeout=1.0,
+            checks=EPAXOS_CHECK_NAMES,
+            config_overrides={
+                "overlay": {"kind": "relay", "use_region_groups": True}
+            },
+            description="Nine WAN nodes, PreAccept/Accept via region relay trees (paper's overlay on the leaderless protocol).",
+        ),
+        Scenario(
+            name="epaxos-relay-reshuffle-storm",
+            protocol="epaxos",
+            num_nodes=9,
+            num_clients=5,
+            duration=2.0,
+            seed=67,
+            client_timeout=0.5,
+            checks=EPAXOS_CHECK_NAMES,
+            config_overrides={
+                "overlay": {"kind": "relay", "num_groups": 3, "relay_timeout": 0.02}
+            },
+            events=(
+                E.set_drop(0.4, probability=0.2),
+                E.reshuffle_relays(0.6),
+                E.reshuffle_relays(0.9),
+                E.set_drop(1.2, probability=0.0),
+                E.reshuffle_relays(1.5),
+            ),
+            description="Relay-overlay EPaxos through a drop storm with continuous relay-group churn.",
+        ),
+        Scenario(
+            name="epaxos-thrifty-crash",
+            protocol="epaxos",
+            num_nodes=5,
+            num_clients=4,
+            duration=2.0,
+            seed=71,
+            client_timeout=0.4,
+            checks=EPAXOS_CHECK_NAMES + ("progress",),
+            min_completed=40,
+            config_overrides={
+                "overlay": {"kind": "thrifty", "thrifty_fallback_timeout": 0.08}
+            },
+            events=(E.crash(0.5, node=3),),
+            description="Thrifty EPaxos loses a node: rounds that targeted it must recover via the fallback broadcast.",
+        ),
+        Scenario(
+            name="epaxos-thrifty-severed-links",
+            protocol="epaxos",
+            num_nodes=5,
+            num_clients=4,
+            duration=2.0,
+            seed=73,
+            client_timeout=0.4,
+            checks=EPAXOS_CHECK_NAMES + ("progress",),
+            min_completed=90,
+            config_overrides={
+                "overlay": {"kind": "thrifty", "thrifty_fallback_timeout": 0.08}
+            },
+            events=(
+                E.sever_link(0.1, 0, 1),
+                E.sever_link(0.1, 2, 3),
+            ),
+            description="Two severed links stall thrifty rounds that sampled the unreachable peer; the fallback broadcast must keep throughput above the progress floor.",
+        ),
         Scenario(
             name="epaxos-duplicate-torture",
             protocol="epaxos",
@@ -285,9 +361,12 @@ def scenarios_for_protocol(protocol: str) -> Dict[str, Scenario]:
 
 #: A small subset used by CI smoke runs and quick local checks.  CI runs
 #: the full EPaxos sweep in a separate step, so smoke carries only the
-#: fast EPaxos baseline.
+#: fast EPaxos baseline plus one scenario per new fan-out overlay (relay,
+#: thrifty) so an overlay regression fails fast.
 SMOKE_SCENARIOS = (
     "pig-baseline-5",
     "pig-crash-follower",
     "epaxos-baseline-5",
+    "epaxos-relay-wan-9",
+    "epaxos-thrifty-crash",
 )

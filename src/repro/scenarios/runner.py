@@ -7,6 +7,18 @@ and applies the requested checkers post-hoc.  The returned
 :class:`ScenarioResult` bundles everything a test or benchmark needs: the
 cluster (for poking at replica state), the recorded history, the violations
 found, throughput stats and a determinism fingerprint.
+
+Example::
+
+    from repro.scenarios import ScenarioRunner, get_scenario
+
+    runner = ScenarioRunner(get_scenario("epaxos-relay-wan-9"))
+    result = runner.run()
+    assert result.ok, result.violations
+    print(result.summary())
+    print(result.counters()["net.messages_sent"])
+    # Same spec + seed => identical fingerprint, every time:
+    assert ScenarioRunner(result.scenario).run().fingerprint() == result.fingerprint()
 """
 
 from __future__ import annotations
@@ -122,8 +134,8 @@ class ScenarioRunner:
         if self.scenario.protocol == "paxos":
             return ProtocolConfig(**overrides)
         if self.scenario.protocol == "epaxos":
-            # EPaxos only consumes the shared session_window knob; the
-            # builder rejects a config carrying anything else.
+            # EPaxos only consumes the shared session_window and overlay
+            # knobs; the builder rejects a config carrying anything else.
             return ProtocolConfig(**overrides) if overrides else None
         if overrides:
             raise ConfigurationError(
@@ -160,6 +172,19 @@ class ScenarioRunner:
             violations.extend(run_epaxos_checks(cluster))
         if "linearizability" in self.scenario.checks:
             violations.extend(check_linearizability(history))
+        if "progress" in self.scenario.checks:
+            completed = cluster.total_completed_requests()
+            if completed < self.scenario.min_completed:
+                violations.append(
+                    Violation(
+                        checker="progress",
+                        message=(
+                            f"liveness floor missed: {completed} operations "
+                            f"completed, scenario requires >= "
+                            f"{self.scenario.min_completed}"
+                        ),
+                    )
+                )
 
         return ScenarioResult(
             scenario=self.scenario,
@@ -217,13 +242,14 @@ class ScenarioRunner:
                 if node.crashed:
                     cluster.recover_node(node_id)
         elif action == "reshuffle_relays":
+            # Paxos-family: only the leader owns a relay plan.  EPaxos:
+            # every replica is a fan-out root with its own plan, so all of
+            # them reshuffle (a no-op under non-relay overlays).
             for node in cluster.nodes.values():
                 replica = node.replica
-                if (
-                    not node.crashed
-                    and getattr(replica, "is_leader", False)
-                    and hasattr(replica, "reshuffle_groups")
-                ):
+                if node.crashed or not hasattr(replica, "reshuffle_groups"):
+                    continue
+                if getattr(replica, "is_leader", False) or replica.protocol_name == "epaxos":
                     replica.reshuffle_groups()
         elif action == "set_drop":
             cluster.network.faults.drop_probability = event.probability

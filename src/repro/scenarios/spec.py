@@ -21,6 +21,27 @@ Events come in two flavours:
 Dynamic events are what make adversarial schedules portable across seeds:
 "crash the leader during a round" works no matter which node won the
 election.
+
+Example -- a complete scenario, runnable as-is::
+
+    from repro.scenarios import Scenario, ScenarioEvent, run_scenario
+
+    scenario = Scenario(
+        name="my-partition-probe",
+        protocol="pigpaxos",
+        num_nodes=5,
+        relay_groups=2,
+        duration=2.0,
+        seed=7,
+        client_timeout=0.5,
+        events=(
+            ScenarioEvent.partition(0.5, (0, 1, 2), (3, 4)),
+            ScenarioEvent.heal_partition(1.3),
+        ),
+    )
+    result = run_scenario(scenario)
+    result.raise_on_violations()      # linearizability + log invariants
+    print(result.summary())
 """
 
 from __future__ import annotations
@@ -47,8 +68,13 @@ EVENT_ACTIONS = (
     "duplicate_storm",
 )
 
-#: Checker names accepted by ``Scenario.checks``.
-CHECK_NAMES = ("linearizability", "log_invariants", "epaxos_invariants")
+#: Checker names accepted by ``Scenario.checks``.  The first three are
+#: safety families (see :mod:`repro.checkers`); ``progress`` is a liveness
+#: floor -- it fires when the run completes fewer than
+#: ``Scenario.min_completed`` client operations, which is how scenarios
+#: catch "safe but stuck" regressions (e.g. a thrifty overlay whose
+#: fallback re-send was broken).
+CHECK_NAMES = ("linearizability", "log_invariants", "epaxos_invariants", "progress")
 
 
 @dataclass(frozen=True)
@@ -169,8 +195,14 @@ class Scenario:
         drop_probability: Baseline random message-drop probability.
         events: Timed fault schedule.
         config_overrides: Extra protocol-config fields (e.g.
-            ``{"relay_timeout": 0.02, "group_response_threshold": 0.75}``).
+            ``{"relay_timeout": 0.02, "group_response_threshold": 0.75}``,
+            or for Paxos/EPaxos an overlay choice:
+            ``{"overlay": {"kind": "relay", "num_groups": 3}}``).
         checks: Which checker families the runner applies post-hoc.
+        min_completed: Liveness floor for the ``progress`` check -- the
+            minimum number of client operations the run must complete.
+            Calibrate well below the healthy throughput for the seed so the
+            check only fires on order-of-magnitude collapses, not noise.
         description: One line shown by the CLI and benchmark reports.
     """
 
@@ -189,6 +221,7 @@ class Scenario:
     events: Tuple[ScenarioEvent, ...] = ()
     config_overrides: Optional[Mapping[str, object]] = None
     checks: Tuple[str, ...] = ("linearizability", "log_invariants")
+    min_completed: int = 0
     description: str = ""
 
     def __post_init__(self) -> None:
@@ -198,6 +231,8 @@ class Scenario:
             raise ConfigurationError("num_clients must be >= 1")
         if self.duration <= 0:
             raise ConfigurationError("duration must be positive")
+        if self.min_completed < 0:
+            raise ConfigurationError("min_completed must be >= 0")
         for check in self.checks:
             if check not in CHECK_NAMES:
                 raise ConfigurationError(

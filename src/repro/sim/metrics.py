@@ -206,3 +206,64 @@ class MetricsRegistry:
             "gauges": {name: g.value for name, g in sorted(self._gauges.items())},
             "histograms": self.histograms(),
         }
+
+
+# --------------------------------------------------------------------------
+# Communication-cost aggregation
+#
+# The network and the nodes record per-node directional traffic counters
+# (``node.<id>.messages_in/out`` and ``node.<id>.bytes_in/out``) plus
+# per-message-type counters (``net.sent.<Kind>``, ``net.sent_bytes.<Kind>``).
+# These helpers fold a counter dump into the per-node / bottleneck views the
+# paper's communication-cost tables are built from.
+
+#: The directional traffic fields recorded per node.
+TRAFFIC_FIELDS = ("messages_in", "messages_out", "bytes_in", "bytes_out")
+
+
+def node_traffic(counters: Dict[str, float]) -> Dict[int, Dict[str, float]]:
+    """Per-node traffic from a counter dump.
+
+    Returns ``{node_id: {messages_in, messages_out, bytes_in, bytes_out,
+    messages_total, bytes_total}}``, parsed from the ``node.<id>.*``
+    counters recorded by :class:`repro.cluster.node.SimNode`.
+    """
+    traffic: Dict[int, Dict[str, float]] = {}
+    for name, value in counters.items():
+        if not name.startswith("node."):
+            continue
+        _, node_id_text, field = name.split(".", 2)
+        if field not in TRAFFIC_FIELDS:
+            continue
+        traffic.setdefault(int(node_id_text), dict.fromkeys(TRAFFIC_FIELDS, 0.0))[field] = value
+    for stats in traffic.values():
+        stats["messages_total"] = stats["messages_in"] + stats["messages_out"]
+        stats["bytes_total"] = stats["bytes_in"] + stats["bytes_out"]
+    return traffic
+
+
+def bottleneck_node(counters: Dict[str, float]) -> Tuple[Optional[int], Dict[str, float]]:
+    """The node touching the most messages, with its traffic breakdown.
+
+    "Touches" is sends plus receives -- the quantity the paper's message-load
+    tables bound at the leader, and the one the fan-out overlays exist to
+    shrink.  Returns ``(None, {})`` when no per-node counters exist yet.
+    """
+    traffic = node_traffic(counters)
+    if not traffic:
+        return None, {}
+    node_id = max(traffic, key=lambda nid: (traffic[nid]["messages_total"], -nid))
+    return node_id, traffic[node_id]
+
+
+def sent_by_kind(counters: Dict[str, float]) -> Dict[str, Dict[str, float]]:
+    """Per-message-type ``{kind: {count, bytes}}`` from a counter dump."""
+    by_kind: Dict[str, Dict[str, float]] = {}
+    for name, value in counters.items():
+        if name.startswith("net.sent_bytes."):
+            kind = name[len("net.sent_bytes."):]
+            by_kind.setdefault(kind, {"count": 0.0, "bytes": 0.0})["bytes"] = value
+        elif name.startswith("net.sent."):
+            kind = name[len("net.sent."):]
+            by_kind.setdefault(kind, {"count": 0.0, "bytes": 0.0})["count"] = value
+    return by_kind

@@ -167,7 +167,7 @@ class TestRelayRole:
         replica.on_message(2, PigAggregate(
             agg_id=9, responses=(P2b(ballot=ballot, slot=1, voter=2, ok=True),), origin=2))
         # Child 3 never answers; fire the relay timeout.
-        timeout_timers = [t for t in ctx.pending_timers() if t.callback == replica._session_timeout]
+        timeout_timers = [t for t in ctx.pending_timers() if t.callback == replica.overlay._session_timeout]
         assert timeout_timers
         timeout_timers[0].fire()
         aggregates = ctx.sent_of_type(PigAggregate)
@@ -261,9 +261,9 @@ class TestLeaderAggregation:
         ballot = Ballot(1, 0)
         inner = P2a(ballot=ballot, slot=1, command=Command(op=OpType.PUT, key="x"), commit_upto=0)
         replica.on_message(0, PigRelayRequest(inner=inner, children=(RelaySubtree(2),), agg_id=77, timeout=0.05))
-        assert replica._sessions
+        assert replica.overlay.open_sessions
         replica.on_crash()
-        assert not replica._sessions
+        assert not replica.overlay.open_sessions
 
     def test_status_reports_relay_groups_for_leader(self):
         replica, ctx = make_replica(cluster=9, groups=2)
@@ -323,7 +323,7 @@ class TestRelayFailureRecovery:
         replica.on_message(0, PigRelayRequest(inner=inner, children=children, agg_id=33, timeout=0.05))
         replica.on_message(2, PigAggregate(
             agg_id=33, responses=(P2b(ballot=ballot, slot=1, voter=2, ok=True),), origin=2))
-        timeout_timers = [t for t in ctx.pending_timers() if t.callback == replica._session_timeout]
+        timeout_timers = [t for t in ctx.pending_timers() if t.callback == replica.overlay._session_timeout]
         timeout_timers[0].fire()  # partial flush: child 3 never answered
         ctx.clear_sent()
 
@@ -358,7 +358,7 @@ class TestRelayFailureRecovery:
     def test_flushed_session_memory_is_bounded(self):
         replica, ctx = make_replica(node_id=1)
         ballot = Ballot(1, 0)
-        for agg_id in range(replica._FLUSHED_SESSION_MEMORY + 50):
+        for agg_id in range(replica.overlay._FLUSHED_SESSION_MEMORY + 50):
             inner = P2a(ballot=ballot, slot=agg_id + 1,
                         command=Command(op=OpType.PUT, key="x"), commit_upto=0)
             replica.on_message(0, PigRelayRequest(
@@ -367,7 +367,7 @@ class TestRelayFailureRecovery:
                 agg_id=agg_id,
                 responses=(P2b(ballot=ballot, slot=agg_id + 1, voter=2, ok=True),),
                 origin=2))
-        assert len(replica._flushed_parents) <= replica._FLUSHED_SESSION_MEMORY
+        assert len(replica.overlay._flushed_parents) <= replica.overlay._FLUSHED_SESSION_MEMORY
 
 
 class TestAggregateSizeAccounting:

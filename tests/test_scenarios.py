@@ -34,6 +34,10 @@ class TestCannedScenarios:
             # invariant family on top (log checks skip themselves but the
             # quorum sanity check still applies).
             expected.add("epaxos_invariants")
+        if scenario.min_completed > 0:
+            # Scenarios with a liveness floor additionally enable the
+            # progress check (e.g. the thrifty-overlay fallback scenarios).
+            expected.add("progress")
         assert set(scenario.checks) == expected
         result = run_scenario(scenario)
         result.raise_on_violations()
