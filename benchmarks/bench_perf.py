@@ -1,0 +1,176 @@
+#!/usr/bin/env python
+"""Wall-clock throughput of the simulation harness itself.
+
+Every experiment in this repo runs on the discrete-event core; this bench
+makes its speed a first-class, tracked number -- the same way PigPaxos
+treats the leader's per-message cost.  It runs the canned scenario sweep
+(`repro.scenarios.library`, the same workload `tests/test_scenarios.py`
+gates on) and reports, per scenario and in aggregate:
+
+* **wall seconds** -- build + simulate + safety checkers,
+* **events/sec**   -- simulator events executed per wall second,
+* **ops/sec**      -- completed client operations per wall second.
+
+The recorded *pre-optimization baseline* (commit e5b611d, the tree just
+before the hot-path overhaul, measured on the same workload with the same
+harness) is embedded below, so every run reports the speedup relative to
+the first point of the repo's perf trajectory.  Fingerprints double as the
+semantic guarantee: the bench asserts each scenario still reproduces the
+baseline tree's `ScenarioResult.fingerprint()` -- the optimization changed
+wall-clock only, not simulation results.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_perf.py             # full sweep
+    PYTHONPATH=src python benchmarks/bench_perf.py --quick     # smoke subset
+    PYTHONPATH=src python benchmarks/bench_perf.py --json out.json
+
+Writes ``benchmarks/results/BENCH_perf.json`` by default.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.scenarios.library import SMOKE_SCENARIOS, all_scenarios  # noqa: E402
+from repro.scenarios.runner import ScenarioRunner  # noqa: E402
+
+#: Commit of the tree the baseline numbers were measured on (pre-overhaul).
+BASELINE_COMMIT = "e5b611d"
+
+#: Pre-optimization measurements: same scenarios, same harness, same
+#: single-core host, GC policy of that tree (enabled), one process.
+#: ``fingerprint`` is the determinism contract -- identical on both trees.
+BASELINE = {
+    "pig-baseline-5": {"wall_seconds": 1.703, "events": 97244, "completed": 3457, "fingerprint": "4d7622561909e222d6c953db6204cccc85bb6bd033a2057685458e708b26b40e"},
+    "paxos-baseline-5": {"wall_seconds": 1.85, "events": 140303, "completed": 4995, "fingerprint": "1fb9abcdd8059ffbfb833fdc9c4667e5f8a09dfaf84dceed0f73a6ff91280bf1"},
+    "pig-relay-sweep-25": {"wall_seconds": 4.426, "events": 339034, "completed": 2281, "fingerprint": "effbe7f973560be18c98e82992e5791fd4e1ed4977cacfd2651110d3293908fb"},
+    "pig-wan-9": {"wall_seconds": 0.169, "events": 13285, "completed": 228, "fingerprint": "189865e85d7041be4ae3b60eec234420b17b809ebb5b501743b5a7741a3ed1ae"},
+    "pig-crash-follower": {"wall_seconds": 2.566, "events": 165040, "completed": 4434, "fingerprint": "fe899352ccef005e1f0cdf005d70a95e4eac02fc41bd1410f5e8aa6faf51682a"},
+    "pig-crash-leader-during-round": {"wall_seconds": 2.41, "events": 134318, "completed": 5086, "fingerprint": "5541bf3845f1db83e776ab451227a763ac5230f705d0239361e176602c5e5a9e"},
+    "pig-partition-minority": {"wall_seconds": 1.207, "events": 74377, "completed": 2604, "fingerprint": "7efc96426520695098f9849be3f14b05a8d7a204378705b4c2cd38ca70509eef"},
+    "pig-partition-leader-minority": {"wall_seconds": 1.463, "events": 95123, "completed": 3334, "fingerprint": "20114c9235f41383538ea1d11410dfce5ae64730295559df7499cc13e9b4acf3"},
+    "pig-relay-timeout-storm": {"wall_seconds": 1.402, "events": 101114, "completed": 1920, "fingerprint": "1b3c0986c7ff3366eff2491f71d52a2f28cc93e0c2014911545d0d7fbed68b8d"},
+    "pig-relay-churn": {"wall_seconds": 3.105, "events": 206011, "completed": 3943, "fingerprint": "f4a7820c00098fbf135f5a427d66933ebc785438ecb0151f18920b9920ac2b36"},
+    "pig-lossy-background": {"wall_seconds": 0.063, "events": 4501, "completed": 87, "fingerprint": "f89965cb56b9e8835b551a4d2d3631867ec6d57d96c17700cc26d7c3bba65333"},
+    "epaxos-baseline-5": {"wall_seconds": 1.094, "events": 76362, "completed": 1852, "fingerprint": "81002a74403f56d167e2ac6ad6af9bd534c54d9c723510caad4314bf5a50182e"},
+    "epaxos-hot-key-storm": {"wall_seconds": 1.599, "events": 100460, "completed": 1984, "fingerprint": "f3a443d734dd95121c2ffe43890016652301ba1922f5bc432ae265f4ee1d361a"},
+    "epaxos-drop-storm": {"wall_seconds": 0.263, "events": 19480, "completed": 459, "fingerprint": "b54a287cadaac88f8216b2a44db8a35ecfd050e0658422b51270179c1c0f3cda"},
+    "epaxos-crash-degraded": {"wall_seconds": 0.344, "events": 26074, "completed": 639, "fingerprint": "78e9da8a8ec6c6a2f7416d877ad1de9df8b3c813258673a6db3aebb01a833b4a"},
+    "epaxos-partition-heal": {"wall_seconds": 0.333, "events": 25048, "completed": 593, "fingerprint": "933f7b37eb1d6313ed54f29f8c41f07fcf8cdb7602b46bda81916f30dc043a5c"},
+    "epaxos-relay-wan-9": {"wall_seconds": 0.471, "events": 27988, "completed": 351, "fingerprint": "733cb905f5b355bd6e92c5369cc04254a3acfb34b2db75210e16c1a76f1b4ba5"},
+    "epaxos-relay-reshuffle-storm": {"wall_seconds": 0.499, "events": 31526, "completed": 365, "fingerprint": "721e8d395fba539c5184b99343cf762da2249238f09b23849922048961978c92"},
+    "epaxos-thrifty-crash": {"wall_seconds": 0.332, "events": 18890, "completed": 642, "fingerprint": "5122df4495cc9c1170679c2a38d4e8e351c9392af04128db8674038aa2ab1185"},
+    "epaxos-thrifty-severed-links": {"wall_seconds": 0.066, "events": 4570, "completed": 120, "fingerprint": "eafe3a6661b32e949698fc456e51cedab0b1e9deef2d010ee23b3985748ecd15"},
+    "epaxos-duplicate-torture": {"wall_seconds": 1.667, "events": 123525, "completed": 1716, "fingerprint": "35b164448a71c318befcd162779819ed02b942bc694f930eeda7f7bb1abf527e"},
+    "paxos-throughput-25": {"wall_seconds": 4.393, "events": 331682, "completed": 2225, "fingerprint": "a31b239a31e6cefa06d77b2cf62c7058adf0c4f68cae3f83220e41f8734ff9b2"},
+    "epaxos-relay-wan-25": {"wall_seconds": 0.861, "events": 59173, "completed": 248, "fingerprint": "33c1e9444b5bc5788c0dbfef50bb2992abe57af9fb4f85593bec48411a29b472"},
+    "pig-fault-tolerance-long": {"wall_seconds": 89.002, "events": 3115446, "completed": 86016, "fingerprint": "907cda0bfc88e0e29db959635eed3bf56303dc4f1f00e71920e2f8795d262857"},
+}
+
+DEFAULT_OUT = Path(__file__).resolve().parent / "results" / "BENCH_perf.json"
+
+
+def run_sweep(names):
+    """Run the scenarios; return (per-scenario dict, divergent-fingerprint list)."""
+    scenarios = all_scenarios()
+    results = {}
+    divergent = []
+    for name in names:
+        scenario = scenarios[name]
+        gc.collect()
+        start = time.perf_counter()
+        result = ScenarioRunner(scenario).run()
+        wall = time.perf_counter() - start
+        fingerprint = result.fingerprint()
+        baseline = BASELINE.get(name)
+        if baseline is not None and baseline["fingerprint"] != fingerprint:
+            divergent.append(name)
+        results[name] = {
+            "wall_seconds": round(wall, 3),
+            "events": result.events_processed,
+            "completed": result.completed_requests,
+            "events_per_sec": round(result.events_processed / wall),
+            "ops_per_sec": round(result.completed_requests / wall, 1),
+            "ok": result.ok,
+            "fingerprint": fingerprint,
+        }
+        speed = ""
+        if baseline is not None:
+            speed = f"  ({baseline['wall_seconds'] / wall:4.2f}x vs baseline)"
+        print(
+            f"{name:32s} {wall:7.2f}s {results[name]['events_per_sec']:8,d} ev/s "
+            f"{results[name]['ops_per_sec']:8,.0f} ops/s{speed}"
+        )
+        del result
+    return results, divergent
+
+
+def summarise(per_scenario):
+    wall = sum(v["wall_seconds"] for v in per_scenario.values())
+    events = sum(v["events"] for v in per_scenario.values())
+    completed = sum(v["completed"] for v in per_scenario.values())
+    return {
+        "total_wall_seconds": round(wall, 3),
+        "total_events": events,
+        "total_completed_ops": completed,
+        "events_per_sec": round(events / wall) if wall else 0,
+        "ops_per_sec": round(completed / wall, 1) if wall else 0.0,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="run only the smoke subset (for CI runners)")
+    parser.add_argument("--json", type=Path, default=DEFAULT_OUT,
+                        help=f"output path (default: {DEFAULT_OUT})")
+    args = parser.parse_args(argv)
+
+    names = list(SMOKE_SCENARIOS) if args.quick else sorted(all_scenarios())
+    print(f"bench_perf: {len(names)} scenarios ({'quick' if args.quick else 'full sweep'})\n")
+    current, divergent = run_sweep(names)
+
+    baseline_subset = {k: v for k, v in BASELINE.items() if k in current}
+    baseline_summary = summarise(baseline_subset)
+    current_summary = summarise(current)
+    speedup = (
+        round(baseline_summary["total_wall_seconds"] / current_summary["total_wall_seconds"], 2)
+        if current_summary["total_wall_seconds"]
+        else None
+    )
+
+    print(
+        f"\nTOTAL   baseline {baseline_summary['total_wall_seconds']:8.2f}s"
+        f" ({baseline_summary['events_per_sec']:,} ev/s)"
+        f"   current {current_summary['total_wall_seconds']:8.2f}s"
+        f" ({current_summary['events_per_sec']:,} ev/s)"
+        f"   speedup {speedup}x"
+    )
+    if divergent:
+        print(f"\nFINGERPRINT DIVERGENCE in: {', '.join(divergent)}", file=sys.stderr)
+
+    report = {
+        "workload": "canned scenario sweep (repro.scenarios.library)",
+        "mode": "quick" if args.quick else "full",
+        "baseline_commit": BASELINE_COMMIT,
+        "baseline": {"scenarios": baseline_subset, "summary": baseline_summary},
+        "current": {"scenarios": current, "summary": current_summary},
+        "speedup_wall_clock": speedup,
+        "fingerprints_match_baseline": not divergent,
+    }
+    args.json.parent.mkdir(parents=True, exist_ok=True)
+    args.json.write_text(json.dumps(report, indent=1) + "\n")
+    print(f"wrote {args.json}")
+    return 1 if divergent else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

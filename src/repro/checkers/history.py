@@ -19,7 +19,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
 
 
-@dataclass
+@dataclass(slots=True)
 class Operation:
     """One client operation: an invocation and (maybe) a response."""
 

@@ -38,10 +38,19 @@ _ABSENT = None
 
 @dataclass
 class _Model:
-    """Per-key sub-history compiled for the search."""
+    """Per-key sub-history compiled for the search.
+
+    Real-time and program-order precedence are kept separate: the real-time
+    mask is *monotone* in the invocation-sorted index (the accumulated
+    returned-operations mask only grows), which lets the search stop its
+    candidate scan at the first real-time-blocked operation -- every later
+    operation is blocked by the same unlinearized predecessor.
+    """
 
     ops: List[Operation]
-    preds: List[int]          # bitmask of operations preceding op i
+    preds: List[int]          # full precedence bitmask of op i (rt | program order)
+    rt_preds: List[int]       # real-time-only mask; monotone in i
+    po_pred: List[int]        # index of same-client predecessor, or -1
     completed_mask: int       # bits of operations that completed
 
 
@@ -49,7 +58,8 @@ def _compile(ops: List[Operation]) -> _Model:
     """Precompute precedence bitmasks for one key's operations."""
     indexed = sorted(ops, key=lambda op: (op.invoked_at, op.client_id, op.request_id))
     n = len(indexed)
-    preds = [0] * n
+    rt_preds = [0] * n
+    po_pred = [-1] * n
     completed_mask = 0
 
     # Real-time precedence: sweep invocations in order, accumulating the
@@ -64,7 +74,7 @@ def _compile(ops: List[Operation]) -> _Model:
         while pointer < len(returns) and returns[pointer][0] < op.invoked_at:
             returned_mask |= 1 << returns[pointer][1]
             pointer += 1
-        preds[i] = returned_mask
+        rt_preds[i] = returned_mask
         if op.completed_at is not None:
             completed_mask |= 1 << i
 
@@ -77,10 +87,19 @@ def _compile(ops: List[Operation]) -> _Model:
         if prev is not None:
             prev_op = indexed[prev]
             if prev_op.completed_at is not None and prev_op.completed_at <= op.invoked_at:
-                preds[i] |= 1 << prev
+                po_pred[i] = prev
         last_by_client[op.client_id] = i
 
-    return _Model(ops=indexed, preds=preds, completed_mask=completed_mask)
+    preds = [
+        rt_preds[i] | (1 << po_pred[i] if po_pred[i] >= 0 else 0) for i in range(n)
+    ]
+    return _Model(
+        ops=indexed,
+        preds=preds,
+        rt_preds=rt_preds,
+        po_pred=po_pred,
+        completed_mask=completed_mask,
+    )
 
 
 def _apply(op: Operation, value: Optional[str]) -> Tuple[bool, Optional[str]]:
@@ -95,11 +114,26 @@ def _apply(op: Operation, value: Optional[str]) -> Tuple[bool, Optional[str]]:
 
 
 def _search(model: _Model, max_states: int) -> Tuple[bool, Optional[str]]:
-    """Run the WGL search; returns (linearizable, failure_detail)."""
+    """Run the WGL search; returns (linearizable, failure_detail).
+
+    Two scan cuts keep the per-frame candidate walk to a small window around
+    the linearization frontier without changing which candidates are tried
+    (both only skip candidates the full scan would reject):
+
+    * the scan starts at the lowest unlinearized index -- everything below
+      is already in ``mask``;
+    * the scan stops at the first candidate whose *real-time* predecessors
+      are not all linearized: ``rt_preds`` is monotone in the invocation
+      order, so every later candidate is blocked by the same predecessor.
+    """
     n = len(model.ops)
     if n == 0:
         return True, None
     target = model.completed_mask
+    full = (1 << n) - 1
+    rt_preds = model.rt_preds
+    po_pred = model.po_pred
+    ops = model.ops
     seen = set()
     # Each stack frame: (linearized_mask, register_value, next_candidate)
     stack: List[List] = [[0, _ABSENT, 0]]
@@ -110,16 +144,25 @@ def _search(model: _Model, max_states: int) -> Tuple[bool, Optional[str]]:
         mask, value, candidate = frame
         if mask & target == target:
             return True, None
-        if candidate >= n:
+        unlinearized = ~mask & full
+        if candidate < n:
+            # Skip the fully-linearized prefix in O(1).
+            lowest = (unlinearized & -unlinearized).bit_length() - 1
+            if lowest > candidate:
+                candidate = lowest
+        if candidate >= n or rt_preds[candidate] & unlinearized:
+            # Real-time-blocked: rt_preds is monotone, so every candidate
+            # from here on is blocked too -- the frame is exhausted.
             stack.pop()
             continue
         frame[2] = candidate + 1
         bit = 1 << candidate
         if mask & bit:
             continue
-        if model.preds[candidate] & ~mask:
-            continue  # some predecessor not linearized yet
-        op = model.ops[candidate]
+        prev = po_pred[candidate]
+        if prev >= 0 and not (mask >> prev) & 1:
+            continue  # same-client predecessor not linearized yet
+        op = ops[candidate]
         if op.pending and op.op == "get":
             continue  # a read that never returned has no effect
         ok, new_value = _apply(op, value)

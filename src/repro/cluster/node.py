@@ -12,9 +12,13 @@ exactly the leader bottleneck the paper studies.
 from __future__ import annotations
 
 import random
+from heapq import heappush
 from typing import Any, Callable, List, Optional, Sequence
 
 from repro.cluster.cpu import NodeCPUModel
+
+#: Sentinel distinguishing "type not yet sized" from "type has no payload".
+_UNSIZED = object()
 from repro.net.message import Envelope
 from repro.net.network import SimNetwork
 from repro.net.transport import SimTransport
@@ -41,6 +45,7 @@ class SimNode:
         self._cpu = cpu or NodeCPUModel()
         self._all_nodes: List[int] = list(all_nodes or [])
         self._replica: Optional[Replica] = None
+        self._replica_on_message: Optional[Callable[[int, Any], None]] = None
         self._transport = SimTransport(network, node_id, send_hook=self._charged_send)
         self._rng = sim.random.stream(f"node-{node_id}")
 
@@ -48,6 +53,17 @@ class SimNode:
         self._crashed = False
         self._sluggish_factor = 1.0
         self._busy_time_total = 0.0
+        # CPU-model constants bound once for the inlined send/receive paths
+        # (the model object is immutable; sluggish faults only scale
+        # ``_sluggish_factor``).
+        self._recv_per_message = self._cpu.recv_per_message
+        self._send_per_message = self._cpu.send_per_message
+        self._per_byte = self._cpu.per_byte
+        self._client_request_extra = self._cpu.client_request_extra
+        self._network_send = network.send
+        self._size_of = network.size_model.size_of
+        self._payload_fns = network.size_model._payload_fns
+        self._header_bytes = network.size_model.header_bytes
         self._messages_in = sim.metrics.counter(f"node.{node_id}.messages_in")
         self._messages_out = sim.metrics.counter(f"node.{node_id}.messages_out")
         self._bytes_in = sim.metrics.counter(f"node.{node_id}.bytes_in")
@@ -59,6 +75,7 @@ class SimNode:
     def host(self, replica: Replica) -> None:
         """Attach a protocol replica to this node."""
         self._replica = replica
+        self._replica_on_message = replica.on_message
         replica.bind(self)
 
     @property
@@ -84,7 +101,7 @@ class SimNode:
 
     @property
     def now(self) -> float:
-        return self._sim.now
+        return self._sim._now
 
     @property
     def rng(self) -> random.Random:
@@ -95,9 +112,43 @@ class SimNode:
         return self._sim.metrics
 
     def send(self, dst: int, message: Any) -> None:
+        """Charge CPU for the send, then hand the message to the network.
+
+        This is the replica-facing hot path: it performs the charged send
+        inline (the equivalent of routing through ``SimTransport`` with the
+        :meth:`_charged_send` hook, minus two call hops) and passes the
+        already-computed wire size to the network so it is not re-derived.
+        """
         if self._crashed:
             return
-        self._transport.send(dst, message)
+        # Inlined SizeModel.size_of (shared per-type cache; cold misses fall
+        # back to the model so the cache fills through one code path).
+        fn = self._payload_fns.get(type(message), _UNSIZED)
+        if fn is _UNSIZED:
+            size = self._size_of(message)
+        elif fn is None:
+            size = self._header_bytes
+        else:
+            payload = int(fn(message))
+            size = self._header_bytes + (payload if payload > 0 else 0)
+        # Inlined _reserve(send_cost(size)) -- keep the arithmetic order
+        # identical so reservation times stay bit-for-bit reproducible.
+        cost = (self._send_per_message + self._per_byte * size) * self._sluggish_factor
+        sim = self._sim
+        now = sim._now
+        busy = self._busy_until
+        start = now if now > busy else busy
+        ready_at = start + cost
+        self._busy_until = ready_at
+        self._busy_time_total += cost
+        self._messages_out.value += 1
+        self._bytes_out.value += size
+        # Inlined EventQueue.push_call -- canonical entry layout lives there.
+        queue = sim._queue
+        seq = queue._seq
+        queue._seq = seq + 1
+        heappush(queue._heap, (ready_at, 0, seq, self._network_send, (self.endpoint_id, dst, message, size)))
+        queue._live += 1
 
     def schedule(self, delay: float, callback: Callable[..., Any], *args: Any) -> TimerLike:
         return self._sim.schedule(delay, self._guarded, callback, args)
@@ -151,27 +202,36 @@ class SimNode:
     def deliver(self, envelope: Envelope) -> None:
         if self._crashed:
             return
-        is_client_request = isinstance(envelope.message, ClientRequest)
-        cost = self._cpu.receive_cost(envelope.size_bytes, is_client_request=is_client_request)
-        ready_at = self._reserve(cost)
-        self._messages_in.increment()
-        self._bytes_in.increment(envelope.size_bytes)
-        self._sim.schedule_at(ready_at, self._handle, envelope)
+        size = envelope.size_bytes
+        # Inlined _reserve(receive_cost(...)) -- arithmetic order preserved.
+        cost = self._recv_per_message + self._per_byte * size
+        if type(envelope.message) is ClientRequest:
+            cost += self._client_request_extra
+        cost *= self._sluggish_factor
+        sim = self._sim
+        now = sim._now
+        busy = self._busy_until
+        start = now if now > busy else busy
+        ready_at = start + cost
+        self._busy_until = ready_at
+        self._busy_time_total += cost
+        self._messages_in.value += 1
+        self._bytes_in.value += size
+        # Inlined EventQueue.push_call -- canonical entry layout lives there.
+        queue = sim._queue
+        seq = queue._seq
+        queue._seq = seq + 1
+        heappush(queue._heap, (ready_at, 0, seq, self._handle, (envelope,)))
+        queue._live += 1
 
     def _handle(self, envelope: Envelope) -> None:
         if self._crashed or self._replica is None:
             return
-        self._replica.on_message(envelope.src, envelope.message)
+        self._replica_on_message(envelope.src, envelope.message)
 
     def _charged_send(self, dst: int, message: Any) -> bool:
         """SimTransport hook: charge CPU for the send, then hand to the network."""
-        if self._crashed:
-            return True
-        size = self._network.size_model.size_of(message)
-        ready_at = self._reserve(self._cpu.send_cost(size))
-        self._messages_out.increment()
-        self._bytes_out.increment(size)
-        self._sim.schedule_at(ready_at, self._transport.push_to_network, dst, message)
+        self.send(dst, message)
         return True
 
     # ------------------------------------------------------------------ faults

@@ -156,18 +156,29 @@ class EPaxosReplica(Replica):
 
     # ------------------------------------------------------------------ dispatch
     def on_message(self, src: int, message: Any) -> None:
-        if isinstance(message, ClientRequest):
-            self._on_client_request(src, message)
-        elif isinstance(message, EPreAccept):
-            self._on_preaccept(src, message)
-        elif isinstance(message, EPreAcceptReply):
-            self._on_preaccept_reply(src, message)
-        elif isinstance(message, EAccept):
-            self._on_accept(src, message)
-        elif isinstance(message, EAcceptReply):
-            self._on_accept_reply(src, message)
-        elif isinstance(message, ECommit):
-            self._on_commit(src, message)
+        # Type-keyed dispatch table built on first use; the isinstance
+        # fallback only handles overlay wrapper subtypes not in the table.
+        try:
+            handler = self._cached_handlers.get(type(message))
+        except AttributeError:
+            self._cached_handlers = {
+                ClientRequest: self._on_client_request,
+                EPreAccept: self._on_preaccept,
+                EPreAcceptReply: self._on_preaccept_reply,
+                EAccept: self._on_accept,
+                EAcceptReply: self._on_accept_reply,
+                ECommit: self._on_commit,
+            }
+            request_handler = getattr(self._overlay, "_on_relay_request", None)
+            aggregate_handler = getattr(self._overlay, "_on_aggregate", None)
+            if request_handler is not None and aggregate_handler is not None:
+                from repro.overlay.messages import RelayAggregate, RelayRequest
+
+                self._cached_handlers[RelayRequest] = request_handler
+                self._cached_handlers[RelayAggregate] = aggregate_handler
+            handler = self._cached_handlers.get(type(message))
+        if handler is not None:
+            handler(src, message)
         elif isinstance(message, OverlayMessage):
             if not self._overlay.handle_message(src, message):
                 self.count("unknown_message")
@@ -439,8 +450,11 @@ class EPaxosReplica(Replica):
         identical, and the cached result lets the duplicate's leader still
         answer its client correctly.
         """
-        client_id = getattr(command, "client_id", -1)
-        request_id = getattr(command, "request_id", 0)
+        try:
+            client_id = command.client_id
+            request_id = command.request_id
+        except AttributeError:
+            return self.store.apply(command)
         if client_id is None or client_id < 0 or request_id <= 0:
             return self.store.apply(command)
         # Per-key cache: see __init__ for why eviction must be driven by

@@ -13,27 +13,50 @@ from typing import Dict, FrozenSet, Iterable, Set, Tuple
 
 
 class NetworkFaults:
-    """Mutable record of currently active network faults."""
+    """Mutable record of currently active network faults.
+
+    ``lossy`` is a plain attribute maintained by every mutator (cheaper than
+    recomputing per send): True whenever any fault that can drop messages is
+    active.  The network's send path reads it to skip :meth:`should_drop`
+    entirely in the fault-free common case.  Skipping is RNG-neutral:
+    ``should_drop`` only consumes randomness when ``drop_probability`` is
+    positive, so fault-free runs keep byte-identical RNG streams either way.
+    """
 
     def __init__(self, drop_probability: float = 0.0, duplicate_probability: float = 0.0) -> None:
-        if not 0.0 <= drop_probability < 1.0:
-            raise ValueError("drop_probability must be in [0, 1)")
         if not 0.0 <= duplicate_probability < 1.0:
             raise ValueError("duplicate_probability must be in [0, 1)")
-        self.drop_probability = drop_probability
         self.duplicate_probability = duplicate_probability
         self._severed: Set[Tuple[int, int]] = set()
         self._partitions: list[FrozenSet[int]] = []
+        self.lossy = False
+        self.drop_probability = drop_probability
+
+    @property
+    def drop_probability(self) -> float:
+        return self._drop_probability
+
+    @drop_probability.setter
+    def drop_probability(self, value: float) -> None:
+        if not 0.0 <= value < 1.0:
+            raise ValueError("drop_probability must be in [0, 1)")
+        self._drop_probability = value
+        self._refresh_lossy()
+
+    def _refresh_lossy(self) -> None:
+        self.lossy = bool(self._drop_probability or self._severed or self._partitions)
 
     # ------------------------------------------------------------- links
     def sever_link(self, a: int, b: int) -> None:
         """Block traffic in both directions between nodes ``a`` and ``b``."""
         self._severed.add((a, b))
         self._severed.add((b, a))
+        self.lossy = True
 
     def heal_link(self, a: int, b: int) -> None:
         self._severed.discard((a, b))
         self._severed.discard((b, a))
+        self._refresh_lossy()
 
     def link_severed(self, a: int, b: int) -> bool:
         return (a, b) in self._severed
@@ -46,9 +69,11 @@ class NetworkFaults:
         (matching the common "isolate these nodes" experiment shape).
         """
         self._partitions = [frozenset(group) for group in groups]
+        self._refresh_lossy()
 
     def heal_partition(self) -> None:
         self._partitions = []
+        self._refresh_lossy()
 
     def partitioned(self, src: int, dst: int) -> bool:
         if not self._partitions:

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import random
 from abc import ABC, abstractmethod
+from math import cos, log, pi, sin, sqrt
 from dataclasses import dataclass, field
 from typing import Dict, Mapping, Optional, Tuple
 
@@ -69,7 +70,25 @@ class NormalLatency(LatencyModel):
     def delay(self, src: int, dst: int, rng: random.Random) -> float:
         if src == dst:
             return 0.0
-        return max(self.floor, rng.gauss(self.mean, self.stddev))
+        # Inlined random.Random.gauss (same polar-method algorithm and spare
+        # -value caching, so the draw sequence is bit-identical) -- this is
+        # one call per message send, and the stdlib implementation is a
+        # Python-level function.  Falls back for Random subclasses without
+        # the ``gauss_next`` spare slot.
+        try:
+            z = rng.gauss_next
+            rng.gauss_next = None
+        except AttributeError:
+            return max(self.floor, rng.gauss(self.mean, self.stddev))
+        if z is None:
+            uniform = rng.random
+            x2pi = uniform() * (2.0 * pi)
+            g2rad = sqrt(-2.0 * log(1.0 - uniform()))
+            z = cos(x2pi) * g2rad
+            rng.gauss_next = sin(x2pi) * g2rad
+        value = self.mean + z * self.stddev
+        floor = self.floor
+        return value if value > floor else floor
 
 
 # Approximate one-way inter-region latencies (seconds) between the AWS regions

@@ -10,8 +10,7 @@ message id used for tracing.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any
 
 
 class Message:
@@ -41,16 +40,30 @@ class Message:
 _envelope_ids = itertools.count(1)
 
 
-@dataclass
 class Envelope:
-    """A message in flight between two endpoints."""
+    """A message in flight between two endpoints.
 
-    src: int
-    dst: int
-    message: Any
-    size_bytes: int = 0
-    send_time: float = 0.0
-    msg_id: int = field(default_factory=lambda: next(_envelope_ids))
+    A plain ``__slots__`` class (not a dataclass): one is allocated per
+    attempted send, so construction must stay cheap.
+    """
+
+    __slots__ = ("src", "dst", "message", "size_bytes", "send_time", "msg_id")
+
+    def __init__(
+        self,
+        src: int,
+        dst: int,
+        message: Any,
+        size_bytes: int = 0,
+        send_time: float = 0.0,
+        msg_id: int = 0,
+    ) -> None:
+        self.src = src
+        self.dst = dst
+        self.message = message
+        self.size_bytes = size_bytes
+        self.send_time = send_time
+        self.msg_id = msg_id if msg_id else next(_envelope_ids)
 
     @property
     def kind(self) -> str:

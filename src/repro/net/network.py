@@ -23,6 +23,7 @@ tables emitted by ``benchmarks/bench_scenarios.py``.
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import Any, Callable, Dict, Optional, Protocol
 
 from repro.errors import NetworkError
@@ -60,17 +61,26 @@ class SimNetwork:
         self._size_model = size_model or SizeModel()
         self._faults = faults or NetworkFaults()
         self._endpoints: Dict[int, Endpoint] = {}
+        self._endpoints_get = self._endpoints.get
         self._rng = sim.random.stream("network")
         self._metrics = sim.metrics
-        # Hot-path counters are resolved once; per-kind counters are looked up
-        # lazily but cached so the send path avoids repeated string formatting.
+        # Hot-path bindings resolved once: the latency model and bandwidth
+        # are fixed for the topology's lifetime, so the per-send delay needs
+        # no re-consulting of the topology object.
+        self._latency = topology.latency
+        # Kept as a division (not a cached reciprocal) so delivery times stay
+        # bit-identical with the historical `size / bandwidth` computation.
+        self._bandwidth = topology.bandwidth_bytes_per_sec or 0.0
+        # Hot-path counters are resolved once; per-kind counter pairs are
+        # cached per message *type* so the send path does no per-send string
+        # formatting and no dynamic `kind` lookup.
         self._sent_counter = self._metrics.counter("net.messages_sent")
         self._bytes_counter = self._metrics.counter("net.bytes_sent")
         self._dropped_counter = self._metrics.counter("net.messages_dropped")
         self._duplicated_counter = self._metrics.counter("net.messages_duplicated")
         self._delivered_counter = self._metrics.counter("net.messages_delivered")
         self._undeliverable_counter = self._metrics.counter("net.messages_undeliverable")
-        self._kind_counters: Dict[str, object] = {}
+        self._kind_counters: Dict[type, tuple] = {}
 
     # ----------------------------------------------------------------- wiring
     @property
@@ -101,59 +111,78 @@ class SimNetwork:
         return dict(self._endpoints)
 
     # ----------------------------------------------------------------- sending
-    def send(self, src: int, dst: int, message: Any) -> Envelope:
+    def send(self, src: int, dst: int, message: Any, size: Optional[int] = None) -> Envelope:
         """Send ``message`` from ``src`` to ``dst``; returns the envelope.
 
         The envelope is returned even when the message is dropped so callers
-        (and tests) can account for attempted sends.
+        (and tests) can account for attempted sends.  ``size`` lets a caller
+        that already computed the wire size (the node CPU model charges for
+        it before the message reaches the fabric) pass it through instead of
+        re-deriving it.
         """
-        if dst not in self._endpoints:
+        endpoint = self._endpoints_get(dst)
+        if endpoint is None:
             raise NetworkError(f"cannot send to unknown endpoint {dst}")
-        size = self._size_model.size_of(message)
-        envelope = Envelope(
-            src=src,
-            dst=dst,
-            message=message,
-            size_bytes=size,
-            send_time=self._sim.now,
-        )
-        self._sent_counter.increment()
-        self._bytes_counter.increment(size)
-        kind = envelope.kind
-        counters = self._kind_counters.get(kind)
+        sim = self._sim
+        now = sim._now
+        rng = self._rng
+        if size is None:
+            size = self._size_model.size_of(message)
+        envelope = Envelope(src, dst, message, size, now)
+        self._sent_counter.value += 1
+        self._bytes_counter.value += size
+        counters = self._kind_counters.get(type(message))
         if counters is None:
+            kind = envelope.kind
             counters = (
                 self._metrics.counter(f"net.sent.{kind}"),
                 self._metrics.counter(f"net.sent_bytes.{kind}"),
             )
-            self._kind_counters[kind] = counters
-        kind_counter, kind_bytes_counter = counters
-        kind_counter.increment()
-        kind_bytes_counter.increment(size)
+            self._kind_counters[type(message)] = counters
+        counters[0].value += 1
+        counters[1].value += size
 
-        if self._faults.should_drop(src, dst, self._rng):
-            self._dropped_counter.increment()
+        faults = self._faults
+        if faults.lossy and faults.should_drop(src, dst, rng):
+            self._dropped_counter.value += 1
             return envelope
 
-        delay = self._delivery_delay(src, dst, size)
-        self._sim.schedule(delay, self._deliver, envelope)
-        if self._faults.should_duplicate(src, dst, self._rng):
+        bandwidth = self._bandwidth
+        delay = self._latency.delay(src, dst, rng)
+        if bandwidth:
+            delay += size / bandwidth
+        # Inlined EventQueue.push_call (canonical entry layout lives there):
+        # delivery is the hottest scheduling site of all.  The rare duplicate
+        # copy below goes through sim.post_at instead.
+        queue = sim._queue
+        seq = queue._seq
+        queue._seq = seq + 1
+        heappush(queue._heap, (now + delay, 0, seq, self._deliver, (envelope, endpoint)))
+        queue._live += 1
+        if faults.duplicate_probability and faults.should_duplicate(src, dst, rng):
             # A retransmitted copy of the same envelope with its own latency
             # draw; protocols must tolerate it (at-most-once execution,
             # per-voter reply dedup).
-            self._duplicated_counter.increment()
-            self._sim.schedule(self._delivery_delay(src, dst, size), self._deliver, envelope)
+            self._duplicated_counter.value += 1
+            delay = self._latency.delay(src, dst, rng)
+            if bandwidth:
+                delay += size / bandwidth
+            sim.post_at(now + delay, self._deliver, (envelope, endpoint))
         return envelope
 
     def _delivery_delay(self, src: int, dst: int, size_bytes: int) -> float:
-        propagation = self._topology.latency.delay(src, dst, self._rng)
-        transmission = self._topology.transmission_delay(size_bytes)
-        return propagation + transmission
+        propagation = self._latency.delay(src, dst, self._rng)
+        if self._bandwidth:
+            propagation += size_bytes / self._bandwidth
+        return propagation
 
-    def _deliver(self, envelope: Envelope) -> None:
-        endpoint = self._endpoints.get(envelope.dst)
+    def _deliver(self, envelope: Envelope, endpoint: Optional[Endpoint] = None) -> None:
+        # The endpoint is resolved at send time (registrations are permanent)
+        # and passed through; reachability is still checked at delivery time.
+        if endpoint is None:
+            endpoint = self._endpoints.get(envelope.dst)
         if endpoint is None or not endpoint.is_reachable():
-            self._undeliverable_counter.increment()
+            self._undeliverable_counter.value += 1
             return
-        self._delivered_counter.increment()
+        self._delivered_counter.value += 1
         endpoint.deliver(envelope)

@@ -17,12 +17,23 @@ counters (:mod:`repro.net.network`), and the per-node ``bytes_in/out``
 counters (:mod:`repro.cluster.node`) that
 :func:`repro.sim.metrics.bottleneck_node` aggregates for the paper-style
 protocol x overlay tables.
+
+``size_of`` runs at least twice per send (CPU charge + network accounting),
+so the "does this type carry a payload?" probe is resolved once per message
+*type* and cached, instead of a dynamic ``getattr`` per call.  The cache
+stores the unbound ``payload_bytes`` function (or None for payload-free
+types); per-instance sizes stay fully dynamic -- only the method lookup is
+cached.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+from repro.net.message import Message
+
+_UNRESOLVED = object()
 
 
 @dataclass(frozen=True)
@@ -35,10 +46,21 @@ class SizeModel:
     """
 
     header_bytes: int = 64
+    _payload_fns: Dict[type, Optional[Callable[[Any], int]]] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     def size_of(self, message: Any) -> int:
-        payload = 0
-        payload_fn = getattr(message, "payload_bytes", None)
-        if callable(payload_fn):
-            payload = int(payload_fn())
-        return self.header_bytes + max(0, payload)
+        mtype = type(message)
+        fn = self._payload_fns.get(mtype, _UNRESOLVED)
+        if fn is _UNRESOLVED:
+            probe = getattr(mtype, "payload_bytes", None)
+            fn = probe if callable(probe) else None
+            if fn is Message.payload_bytes:
+                # Inherited base implementation: the type is metadata-only
+                # (always payload 0), so skip the call entirely.
+                fn = None
+            self._payload_fns[mtype] = fn
+        if fn is None:
+            return self.header_bytes
+        return self.header_bytes + max(0, int(fn(message)))

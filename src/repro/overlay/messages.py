@@ -20,7 +20,6 @@ EPaxos.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Tuple
 
 from repro.net.message import Message
@@ -37,16 +36,31 @@ class OverlayMessage(Message):
     __slots__ = ()
 
 
-@dataclass(frozen=True)
 class RelaySubtree:
-    """One node of the relay tree, with the subtrees it must fan out to."""
+    """One node of the relay tree, with the subtrees it must fan out to.
 
-    node_id: int
-    children: Tuple["RelaySubtree", ...] = ()
+    A plain slotted class, immutable by convention (trees are shared across
+    the requests fanned down one round).  The subtree size is computed once
+    at construction: ``RelayRequest`` wire sizes need it at least twice per
+    relayed send, and recomputing it was a recursive walk each time.
+    """
+
+    __slots__ = ("node_id", "children", "_size")
+
+    def __init__(self, node_id: int, children: Tuple["RelaySubtree", ...] = ()) -> None:
+        self.node_id = node_id
+        self.children = children
+        size = 1
+        for child in children:
+            size += child._size
+        self._size = size
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RelaySubtree({self.node_id}, children={self.children!r})"
 
     def size(self) -> int:
         """Total number of nodes in this subtree (including this node)."""
-        return 1 + sum(child.size() for child in self.children)
+        return self._size
 
     def depth(self) -> int:
         if not self.children:
@@ -60,9 +74,11 @@ class RelaySubtree:
         return tuple(nodes)
 
 
-@dataclass(frozen=True)
 class RelayRequest(OverlayMessage):
     """A wrapped fan-out message travelling down the relay tree.
+
+    A hand-slotted class (one is allocated per tree edge per round);
+    immutable by convention, like every message.
 
     Attributes:
         inner: The ordinary protocol message being disseminated.
@@ -78,27 +94,56 @@ class RelayRequest(OverlayMessage):
             leg.
     """
 
-    inner: Message
-    children: Tuple[RelaySubtree, ...]
-    agg_id: int
-    timeout: float
-    expects_response: bool = True
+    __slots__ = ("inner", "children", "agg_id", "timeout", "expects_response")
+
+    def __init__(
+        self,
+        inner: Message,
+        children: Tuple[RelaySubtree, ...],
+        agg_id: int,
+        timeout: float,
+        expects_response: bool = True,
+    ) -> None:
+        self.inner = inner
+        self.children = children
+        self.agg_id = agg_id
+        self.timeout = timeout
+        self.expects_response = expects_response
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RelayRequest(agg_id={self.agg_id} inner={self.inner!r})"
 
     def payload_bytes(self) -> int:
         inner_payload = self.inner.payload_bytes()
         # The membership list adds ~4 bytes per node id mentioned in the tree.
-        membership = 4 * sum(subtree.size() for subtree in self.children)
-        return inner_payload + membership
+        membership = 0
+        for subtree in self.children:
+            membership += subtree._size
+        return inner_payload + 4 * membership
 
 
-@dataclass(frozen=True)
 class RelayAggregate(OverlayMessage):
     """Aggregated responses travelling back up the relay tree."""
 
-    agg_id: int
-    responses: Tuple[Message, ...]
-    origin: int = -1
-    complete: bool = True
+    __slots__ = ("agg_id", "responses", "origin", "complete")
+
+    def __init__(
+        self,
+        agg_id: int,
+        responses: Tuple[Message, ...],
+        origin: int = -1,
+        complete: bool = True,
+    ) -> None:
+        self.agg_id = agg_id
+        self.responses = responses
+        self.origin = origin
+        self.complete = complete
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RelayAggregate(agg_id={self.agg_id} n={len(self.responses)})"
 
     def payload_bytes(self) -> int:
-        return sum(response.payload_bytes() + 8 for response in self.responses)
+        total = 0
+        for response in self.responses:
+            total += response.payload_bytes() + 8
+        return total

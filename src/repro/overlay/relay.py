@@ -44,7 +44,7 @@ from repro.overlay.groups import RelayGroupPlan, region_groups, round_robin_grou
 from repro.overlay.messages import RelayAggregate, RelayRequest, RelaySubtree
 
 
-@dataclass
+@dataclass(slots=True)
 class _AggregationSession:
     """State a relay keeps while gathering responses for one round."""
 

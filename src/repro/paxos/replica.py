@@ -13,6 +13,7 @@ argument unchanged.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from heapq import heappop, heappush
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.overlay.base import FanoutOverlay
@@ -94,6 +95,18 @@ class MultiPaxosReplica(Replica):
         self._heartbeat_timer: Optional[TimerLike] = None
         self._fill_pending = False
 
+        # Incremental commit-frontier scan state (see _apply_commit_frontier):
+        # slots examined once and found uncommitted; a lazy min-heap mirror
+        # of that set for the "anything missing at or below the announced
+        # frontier?" verdict; gap slots not yet re-judged against the current
+        # announcing ballot; the highest slot ever scanned; and the ballot
+        # of the most recent scan.
+        self._frontier_gaps: set = set()
+        self._frontier_gap_heap: List[int] = []
+        self._frontier_stale: set = set()
+        self._frontier_scanned_upto = 0
+        self._last_frontier_ballot: Optional[Ballot] = None
+
     # ------------------------------------------------------------------ setup
     @property
     def quorum(self) -> QuorumSystem:
@@ -114,21 +127,20 @@ class MultiPaxosReplica(Replica):
 
     # ------------------------------------------------------------------ dispatch
     def on_message(self, src: int, message: Any) -> None:
-        handler = self._handler_cache().get(type(message))
+        # The handler table is built lazily on first dispatch (subclasses
+        # extend _handlers()); afterwards dispatch is one dict lookup.
+        try:
+            handler = self._cached_handlers.get(type(message))
+        except AttributeError:
+            self._cached_handlers = self._handlers()
+            handler = self._cached_handlers.get(type(message))
         if handler is None:
             self.count("unknown_message")
             return
         handler(src, message)
 
-    def _handler_cache(self) -> Dict[type, Any]:
-        cache = getattr(self, "_cached_handlers", None)
-        if cache is None:
-            cache = self._handlers()
-            self._cached_handlers = cache
-        return cache
-
     def _handlers(self) -> Dict[type, Any]:
-        return {
+        handlers = {
             ClientRequest: self._on_client_request,
             P1a: self._on_p1a,
             P1b: self._on_p1b,
@@ -141,6 +153,15 @@ class MultiPaxosReplica(Replica):
             RelayRequest: self._on_overlay_message,
             RelayAggregate: self._on_overlay_message,
         }
+        # When the bound overlay is the relay fan-out, dispatch its wire
+        # types straight to its handlers, skipping two generic hops per
+        # relayed message (the overlay indirection and its isinstance chain).
+        request_handler = getattr(self._overlay, "_on_relay_request", None)
+        aggregate_handler = getattr(self._overlay, "_on_aggregate", None)
+        if request_handler is not None and aggregate_handler is not None:
+            handlers[RelayRequest] = request_handler
+            handlers[RelayAggregate] = aggregate_handler
+        return handlers
 
     def _on_overlay_message(self, src: int, msg: OverlayMessage) -> None:
         if not self._overlay.handle_message(src, msg):
@@ -426,8 +447,11 @@ class MultiPaxosReplica(Replica):
         only ever target requests still inside the window, so eviction never
         breaks the at-most-once guarantee in practice.
         """
-        client_id = getattr(command, "client_id", -1)
-        request_id = getattr(command, "request_id", 0)
+        try:
+            client_id = command.client_id
+            request_id = command.request_id
+        except AttributeError:
+            return self.store.apply(command)
         if client_id is None or client_id < 0 or request_id <= 0:
             return self.store.apply(command)
         cached = self._client_sessions.get(client_id, request_id)
@@ -464,20 +488,85 @@ class MultiPaxosReplica(Replica):
         A follower only trusts its local entry for a slot if that entry was
         accepted under the same ballot as the message announcing the commit;
         otherwise the slot is left for gap-filling.
+
+        The scan is incremental: a naive implementation rescans the whole
+        ``(commit_upto_local, commit_upto]`` window on every message, which
+        is quadratic across a recovery gap (a node returning from a crash
+        rescanned thousands of slots per P2a).  Instead, each slot is
+        examined once; slots found uncommitted are remembered in a gap set
+        and re-examined only when their log entry actually changed
+        (``ReplicatedLog.dirty_slots``: late accepts, fill commits) or when
+        the announcing ballot changed -- exactly the cases in which the full
+        rescan could have newly committed them.  Commit decisions, the
+        ``missing`` verdict and the resulting fill-request scheduling are
+        bit-for-bit identical to the full rescan (the golden-fingerprint
+        tests cover this).
         """
         if commit_upto <= self.commit_upto:
             return
-        missing = False
-        for slot in range(self.commit_upto + 1, commit_upto + 1):
-            entry = self.log.get(slot)
+        log = self.log
+        gaps = self._frontier_gaps
+        dirty = log.dirty_slots
+        stale = self._frontier_stale
+        if ballot != self._last_frontier_ballot:
+            # A different ballot is announcing commits: every remembered gap
+            # must be re-judged against it (the full rescan would have).
+            self._last_frontier_ballot = ballot
+            stale.clear()
+            stale.update(gaps)
+        if gaps:
+            # Re-examine exactly the gap slots the old full rescan could have
+            # newly committed, bounded by the announced frontier: slots whose
+            # entries changed (late accepts, fill commits) and slots not yet
+            # judged against the current ballot.
+            if dirty:
+                pending = {s for s in gaps & dirty if s <= commit_upto}
+            else:
+                pending = set()
+            if stale:
+                pending.update(s for s in stale if s <= commit_upto)
+            for slot in sorted(pending):
+                stale.discard(slot)
+                entry = log.get(slot)
+                if entry is None:
+                    continue
+                if entry.committed:
+                    gaps.discard(slot)
+                elif entry.ballot == ballot:
+                    log.commit(slot, entry.ballot, entry.command)
+                    gaps.discard(slot)
+        if dirty:
+            # Retain dirt for gap slots beyond this announcement: they were
+            # not re-judged (the full rescan would not have reached them
+            # either) and must be rechecked when a later announcement covers
+            # them.  Everything else has been consumed or is irrelevant.
+            if gaps:
+                keep = [s for s in dirty if s > commit_upto and s in gaps]
+                dirty.clear()
+                dirty.update(keep)
+            else:
+                dirty.clear()
+        heap = self._frontier_gap_heap
+        start = self._frontier_scanned_upto + 1
+        low = self.commit_upto + 1
+        if start < low:
+            start = low
+        for slot in range(start, commit_upto + 1):
+            entry = log.get(slot)
             if entry is None or (entry.ballot != ballot and not entry.committed):
-                missing = True
+                gaps.add(slot)
+                heappush(heap, slot)
                 continue
             if not entry.committed:
-                self.log.commit(slot, entry.ballot, entry.command)
+                log.commit(slot, entry.ballot, entry.command)
+        if commit_upto > self._frontier_scanned_upto:
+            self._frontier_scanned_upto = commit_upto
         self._advance_commit_frontier()
         self.commit_upto = max(self.commit_upto, 0)
         self._execute_ready()
+        while heap and heap[0] not in gaps:
+            heappop(heap)
+        missing = bool(heap) and heap[0] <= commit_upto
         if missing and not self._fill_pending and self.leader_id is not None:
             self._fill_pending = True
             self.ctx.schedule(self.config.fill_gap_timeout, self._request_fill, commit_upto)
@@ -519,8 +608,10 @@ class MultiPaxosReplica(Replica):
     # ------------------------------------------------------------------ liveness
     def _observe_leader(self, ballot: Ballot) -> None:
         self._last_leader_contact = self.ctx.now
-        if ballot.leader != self.node_id:
-            self.leader_id = ballot.leader
+        # ballot.node_id is the proposer (.leader is a property alias; the
+        # plain field skips a Python-level call on every message).
+        if ballot.node_id != self.node_id:
+            self.leader_id = ballot.node_id
             if self.is_leader and ballot > self.ballot:
                 self._step_down(ballot)
 

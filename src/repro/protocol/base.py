@@ -76,15 +76,29 @@ class Replica(ABC):
 
     protocol_name = "abstract"
 
+    #: Host node id; a plain attribute (not a property) because protocol code
+    #: reads it on nearly every message.  -1 until :meth:`bind` runs.
+    node_id: int = -1
+
     def __init__(self, overlay: Optional[FanoutOverlay] = None) -> None:
         self._ctx: Optional[NodeContext] = None
         self._overlay: FanoutOverlay = overlay or DirectFanout()
         self._overlay.bind(self)
+        # Per-replica counter cache: ``count()`` fires on most protocol
+        # steps, and resolving "<protocol>.<name>" through the registry
+        # costs an f-string + dict lookup each time.
+        self._counter_cache: dict = {}
 
     # ----------------------------------------------------------------- wiring
     def bind(self, ctx: NodeContext) -> None:
         """Attach the replica to its host node context."""
         self._ctx = ctx
+        self._counter_cache.clear()
+        # Shadow the class-level send helper with the context's bound method:
+        # replica sends are the hottest protocol->node edge, and the instance
+        # attribute skips two call hops (Replica.send and the ctx property).
+        self.send = ctx.send
+        self.node_id = ctx.node_id
 
     @property
     def overlay(self) -> FanoutOverlay:
@@ -96,10 +110,6 @@ class Replica(ABC):
         if self._ctx is None:
             raise RuntimeError(f"{type(self).__name__} used before bind()")
         return self._ctx
-
-    @property
-    def node_id(self) -> int:
-        return self.ctx.node_id
 
     @property
     def peers(self) -> List[int]:
@@ -153,4 +163,8 @@ class Replica(ABC):
 
     def count(self, name: str, amount: float = 1.0) -> None:
         """Increment a protocol-level metric counter namespaced by node id."""
-        self.ctx.metrics.counter(f"{self.protocol_name}.{name}").increment(amount)
+        counter = self._counter_cache.get(name)
+        if counter is None:
+            counter = self.ctx.metrics.counter(f"{self.protocol_name}.{name}")
+            self._counter_cache[name] = counter
+        counter.value += amount

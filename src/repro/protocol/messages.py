@@ -5,12 +5,22 @@ These correspond one-to-one to the arrows in the paper's Figure 1/2:
 ``Commit`` is phase-3.  Phase-3 is normally piggybacked on the next ``P2a``
 through its ``commit_upto`` field, exactly as in the Multi-Paxos optimization
 the paper applies to both Paxos and PigPaxos.
+
+The per-message types (client request/reply, phase-2, commit, heartbeat) are
+hand-written ``__slots__`` classes rather than frozen dataclasses: one is
+allocated per protocol step per follower, and the frozen-dataclass
+``object.__setattr__``-per-field constructor costs ~2.5x a plain ``__init__``
+on this hot path.  They are immutable by convention -- messages are shared
+by reference across simulated nodes and must never be mutated after being
+sent -- and compare by object identity (nothing in the repo relied on the
+generated value equality; match on fields/uids explicitly if you need it).
+The phase-1 and gap-fill types stay frozen dataclasses; they are rare.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.net.message import Message
 from repro.protocol.ballot import Ballot
@@ -18,41 +28,71 @@ from repro.statemachine.command import Command, CommandResult
 
 
 # --------------------------------------------------------------------- client
-@dataclass(frozen=True)
 class ClientRequest(Message):
     """A command submitted by a client to a replica."""
 
-    command: Command
+    __slots__ = ("command",)
+
+    def __init__(self, command: Command) -> None:
+        self.command = command
 
     def payload_bytes(self) -> int:
         return self.command.payload_bytes()
 
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ClientRequest(command={self.command!r})"
 
-@dataclass(frozen=True)
+
 class ClientReply(Message):
     """The reply sent back to the client after its command executed."""
 
-    command_uid: int
-    request_id: int
-    client_id: int
-    success: bool
-    result: Optional[CommandResult] = None
-    leader_hint: Optional[int] = None
-    request_send_time: float = 0.0
+    __slots__ = (
+        "command_uid",
+        "request_id",
+        "client_id",
+        "success",
+        "result",
+        "leader_hint",
+        "request_send_time",
+    )
+
+    def __init__(
+        self,
+        command_uid: int,
+        request_id: int,
+        client_id: int,
+        success: bool,
+        result: Optional[CommandResult] = None,
+        leader_hint: Optional[int] = None,
+        request_send_time: float = 0.0,
+    ) -> None:
+        self.command_uid = command_uid
+        self.request_id = request_id
+        self.client_id = client_id
+        self.success = success
+        self.result = result
+        self.leader_hint = leader_hint
+        self.request_send_time = request_send_time
 
     def payload_bytes(self) -> int:
         return self.result.payload_bytes() if self.result is not None else 0
 
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ClientReply(client={self.client_id} req={self.request_id} "
+            f"success={self.success})"
+        )
+
 
 # --------------------------------------------------------------------- phase 1
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class P1a(Message):
     """Phase-1a: "lead with ballot b?"."""
 
     ballot: Ballot
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class P1b(Message):
     """Phase-1b promise.  ``accepted`` maps slot -> (ballot, command).
 
@@ -71,15 +111,15 @@ class P1b(Message):
     def payload_bytes(self) -> int:
         total = 0
         for _, command in self.accepted.values():
-            payload_fn = getattr(command, "payload_bytes", None)
-            if callable(payload_fn):
-                total += payload_fn()
+            try:
+                total += command.payload_bytes()
+            except AttributeError:
+                pass
             total += 16  # slot + ballot encoding
         return total
 
 
 # --------------------------------------------------------------------- phase 2
-@dataclass(frozen=True)
 class P2a(Message):
     """Phase-2a accept request for one slot, with phase-3 piggybacked.
 
@@ -88,42 +128,62 @@ class P2a(Message):
     phase-2a).
     """
 
-    ballot: Ballot
-    slot: int
-    command: object
-    commit_upto: int = 0
+    __slots__ = ("ballot", "slot", "command", "commit_upto")
+
+    def __init__(self, ballot: Ballot, slot: int, command: object, commit_upto: int = 0) -> None:
+        self.ballot = ballot
+        self.slot = slot
+        self.command = command
+        self.commit_upto = commit_upto
 
     def payload_bytes(self) -> int:
-        payload_fn = getattr(self.command, "payload_bytes", None)
-        return payload_fn() if callable(payload_fn) else 0
+        try:
+            return self.command.payload_bytes()
+        except AttributeError:
+            return 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"P2a(ballot={self.ballot} slot={self.slot} commit_upto={self.commit_upto})"
 
 
-@dataclass(frozen=True)
 class P2b(Message):
     """Phase-2b accepted/rejected vote from one follower."""
 
-    ballot: Ballot
-    slot: int
-    voter: int
-    ok: bool
+    __slots__ = ("ballot", "slot", "voter", "ok")
+
+    def __init__(self, ballot: Ballot, slot: int, voter: int, ok: bool) -> None:
+        self.ballot = ballot
+        self.slot = slot
+        self.voter = voter
+        self.ok = ok
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"P2b(ballot={self.ballot} slot={self.slot} voter={self.voter} ok={self.ok})"
 
 
-@dataclass(frozen=True)
 class Commit(Message):
     """Explicit phase-3 commit notification (used when there is no next P2a)."""
 
-    ballot: Ballot
-    slot: int
-    command: object
-    commit_upto: int = 0
+    __slots__ = ("ballot", "slot", "command", "commit_upto")
+
+    def __init__(self, ballot: Ballot, slot: int, command: object, commit_upto: int = 0) -> None:
+        self.ballot = ballot
+        self.slot = slot
+        self.command = command
+        self.commit_upto = commit_upto
 
     def payload_bytes(self) -> int:
-        payload_fn = getattr(self.command, "payload_bytes", None)
-        return payload_fn() if callable(payload_fn) else 0
+        try:
+            return self.command.payload_bytes()
+        except AttributeError:
+            return 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Commit(ballot={self.ballot} slot={self.slot})"
 
 
 # --------------------------------------------------------------------- catch-up
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FillRequest(Message):
     """A follower asking the leader for slots it is missing."""
 
@@ -131,7 +191,7 @@ class FillRequest(Message):
     requester: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FillReply(Message):
     """Leader's response to a FillRequest: committed entries for the slots."""
 
@@ -140,16 +200,22 @@ class FillReply(Message):
     def payload_bytes(self) -> int:
         total = 0
         for _, _, command in self.entries:
-            payload_fn = getattr(command, "payload_bytes", None)
-            if callable(payload_fn):
-                total += payload_fn()
+            try:
+                total += command.payload_bytes()
+            except AttributeError:
+                pass
             total += 16
         return total
 
 
-@dataclass(frozen=True)
 class Heartbeat(Message):
     """Periodic leader liveness signal carrying the commit frontier."""
 
-    ballot: Ballot
-    commit_upto: int = 0
+    __slots__ = ("ballot", "commit_upto")
+
+    def __init__(self, ballot: Ballot, commit_upto: int = 0) -> None:
+        self.ballot = ballot
+        self.commit_upto = commit_upto
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Heartbeat(ballot={self.ballot} commit_upto={self.commit_upto})"

@@ -13,7 +13,12 @@ on any reply-counting bug).  The overlay family exercises the pluggable
 fan-out layer: EPaxos PreAccept/Accept rounds through WAN relay trees,
 relay-group churn under a drop storm, and thrifty (quorum-subset) rounds
 whose fallback broadcast must hold a ``progress`` liveness floor under
-crashes and severed links.  Each scenario runs with the linearizability
+crashes and severed links.  The paper-scale tier exercises the headline
+deployments the hot-path overhaul (PR 4) made affordable: the 25-node
+Multi-Paxos control run and its PigPaxos counterpart (Fig. 8), 25-node
+EPaxos over WAN relay trees, and a 40-virtual-second Fig.-13-style
+fault-tolerance run with repeated follower and leader crashes.  Each
+scenario runs with the linearizability
 checker plus its protocol's invariant family enabled, so
 ``run_scenario(s).raise_on_violations()`` is a one-line whole-stack safety
 test.
@@ -318,6 +323,58 @@ def _scenarios() -> List[Scenario]:
             ),
             description="Two severed links stall thrifty rounds that sampled the unreachable peer; the fallback broadcast must keep throughput above the progress floor.",
         ),
+        # ------------------------------------------------- paper scale / long
+        Scenario(
+            name="paxos-throughput-25",
+            protocol="paxos",
+            num_nodes=25,
+            num_clients=6,
+            duration=1.0,
+            seed=7,
+            description="Paper-scale 25-node Multi-Paxos control run (Fig. 8 baseline): the leader touches 2(N-1) messages per op.",
+        ),
+        Scenario(
+            name="epaxos-relay-wan-25",
+            protocol="epaxos",
+            num_nodes=25,
+            wan=True,
+            num_clients=8,
+            duration=2.5,
+            seed=83,
+            client_timeout=1.0,
+            checks=EPAXOS_CHECK_NAMES + ("progress",),
+            min_completed=60,
+            config_overrides={
+                "overlay": {"kind": "relay", "use_region_groups": True}
+            },
+            description="Paper-scale 25-node EPaxos across three WAN regions, PreAccept/Accept/commit through region relay trees.",
+        ),
+        Scenario(
+            name="pig-fault-tolerance-long",
+            protocol="pigpaxos",
+            num_nodes=7,
+            relay_groups=2,
+            num_clients=4,
+            duration=40.0,
+            seed=97,
+            client_timeout=0.5,
+            checks=("linearizability", "log_invariants", "progress"),
+            min_completed=5000,
+            events=(
+                E.crash(3.0, node=3),
+                E.recover(6.0, node=3),
+                E.crash_leader(9.0),
+                E.recover_all(13.0),
+                E.crash(16.0, node=5),
+                E.recover(19.0, node=5),
+                E.crash_leader(21.0),
+                E.recover_all(25.0),
+                E.crash(28.0, node=1),
+                E.recover(31.0, node=1),
+                E.crash_leader(34.0),
+            ),
+            description="Long-duration fault-tolerance run (Fig. 13 shape): repeated follower and leader crashes over 40 virtual seconds.",
+        ),
         Scenario(
             name="epaxos-duplicate-torture",
             protocol="epaxos",
@@ -362,11 +419,16 @@ def scenarios_for_protocol(protocol: str) -> Dict[str, Scenario]:
 #: A small subset used by CI smoke runs and quick local checks.  CI runs
 #: the full EPaxos sweep in a separate step, so smoke carries only the
 #: fast EPaxos baseline plus one scenario per new fan-out overlay (relay,
-#: thrifty) so an overlay regression fails fast.
+#: thrifty) so an overlay regression fails fast.  The paper-scale 25-node
+#: scenarios ride along because they finish in about a second each after
+#: the hot-path overhaul; the 40-virtual-second fault-tolerance run stays
+#: full-sweep-only (tens of seconds of wall clock).
 SMOKE_SCENARIOS = (
     "pig-baseline-5",
     "pig-crash-follower",
     "epaxos-baseline-5",
     "epaxos-relay-wan-9",
     "epaxos-thrifty-crash",
+    "paxos-throughput-25",
+    "epaxos-relay-wan-25",
 )

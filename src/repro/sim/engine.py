@@ -4,14 +4,23 @@
 streams and the metrics registry.  Components schedule work with
 :meth:`Simulator.schedule` (relative delay) or :meth:`Simulator.schedule_at`
 (absolute time) and may cancel it via the returned :class:`TimerHandle`.
+Fire-and-forget hot paths (the network fabric, the node CPU queue) use
+:meth:`Simulator.post_at`, which skips the handle allocation.
 
 The engine is single-threaded and runs events strictly in
 ``(time, priority, insertion order)`` order, which makes every run with the
-same seed bit-for-bit reproducible.
+same seed bit-for-bit reproducible.  The main loop in :meth:`Simulator.run`
+is deliberately inlined -- it pops heap entries directly instead of going
+through ``peek_time()`` + ``step()``, which would traverse the heap top
+twice per event.  Any change here must keep the pop order identical; the
+golden-fingerprint tests (``tests/test_golden_fingerprints.py``) are the
+tripwire.
 """
 
 from __future__ import annotations
 
+import gc
+from heapq import heappop, heappush
 from typing import Any, Callable, Optional
 
 from repro.errors import SimulationError
@@ -23,11 +32,10 @@ from repro.sim.rng import RandomStreams
 class TimerHandle:
     """A cancellable handle for a scheduled callback."""
 
-    __slots__ = ("_event", "_queue")
+    __slots__ = ("_event",)
 
-    def __init__(self, event: Event, queue: EventQueue) -> None:
+    def __init__(self, event: Event) -> None:
         self._event = event
-        self._queue = queue
 
     @property
     def time(self) -> float:
@@ -40,7 +48,7 @@ class TimerHandle:
 
     def cancel(self) -> None:
         """Cancel the callback if it has not fired yet."""
-        self._queue.cancel(self._event)
+        self._event.cancel()
 
 
 class Simulator:
@@ -89,8 +97,7 @@ class Simulator:
         """Schedule ``callback(*args)`` after ``delay`` seconds of virtual time."""
         if delay < 0:
             raise SimulationError(f"delay must be non-negative, got {delay!r}")
-        event = self._queue.push(self._now + delay, callback, args, priority)
-        return TimerHandle(event, self._queue)
+        return TimerHandle(self._queue.push(self._now + delay, callback, args, priority))
 
     def schedule_at(
         self,
@@ -104,8 +111,23 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at {time!r}, which is in the past (now={self._now!r})"
             )
-        event = self._queue.push(time, callback, args, priority)
-        return TimerHandle(event, self._queue)
+        return TimerHandle(self._queue.push(time, callback, args, priority))
+
+    def post_at(self, time: float, callback: Callable[..., Any], args: tuple = ()) -> None:
+        """Hot-path scheduling: no TimerHandle, no Event, no validation.
+
+        For engine-internal fire-and-forget work (message delivery, CPU-queue
+        completions) whose times are derived from ``now`` plus a non-negative
+        cost and whose events are never cancelled.  Anything user-facing or
+        cancellable should use :meth:`schedule` / :meth:`schedule_at`.  The
+        queue push is inlined (see ``EventQueue.push_call``) because this is
+        the single most-called scheduling entry point.
+        """
+        queue = self._queue
+        seq = queue._seq
+        queue._seq = seq + 1
+        heappush(queue._heap, (time, 0, seq, callback, args))
+        queue._live += 1
 
     def call_soon(self, callback: Callable[..., Any], *args: Any) -> TimerHandle:
         """Schedule ``callback`` at the current time (after already-queued events)."""
@@ -132,24 +154,65 @@ class Simulator:
         if self._running:
             raise SimulationError("Simulator.run() is not reentrant")
         self._running = True
+        queue = self._queue
+        heap = queue._heap
+        # The hot loop allocates heavily (envelopes, heap entries, messages)
+        # but almost entirely acyclically, so reference counting reclaims it;
+        # the cyclic collector only adds generation-scan pauses.  Suspend it
+        # for the duration of the run and restore the caller's setting after.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
         try:
             executed = 0
-            while True:
-                if max_events is not None and executed >= max_events:
+            budget = float("inf") if max_events is None else max_events
+            horizon = float("inf") if until is None else until
+            # Inlined pop->fire loop: one heap traversal per event, cancelled
+            # entries discarded as they surface.  `heap` is bound once; the
+            # queue clears its list in place, so the binding stays valid even
+            # across a mid-run reset().
+            while heap:
+                if executed >= budget:
                     break
-                next_time = self._queue.peek_time()
-                if next_time is None:
-                    break
-                if until is not None and next_time > until:
+                entry = heap[0]
+                args = entry[4]
+                if args is not None:
+                    # Fire-and-forget call entry: (time, 0, seq, cb, args).
+                    time = entry[0]
+                    if time > horizon:
+                        self._now = until
+                        break
+                    heappop(heap)
+                    queue._live -= 1
+                    self._now = time
+                    self._events_processed += 1
+                    entry[3](*args)
+                    executed += 1
+                    continue
+                event = entry[3]
+                if event.cancelled:
+                    heappop(heap)
+                    continue
+                time = entry[0]
+                if time > horizon:
                     self._now = until
                     break
-                self.step()
+                heappop(heap)
+                event._queue = None
+                queue._live -= 1
+                self._now = time
+                self._events_processed += 1
+                event.callback(*event.args)
                 executed += 1
-            if until is not None and self._now < until and self._queue.peek_time() is None:
+            else:
+                queue._live = 0
+            if until is not None and self._now < until and queue.peek_time() is None:
                 self._now = until
             return self._now
         finally:
             self._running = False
+            if gc_was_enabled:
+                gc.enable()
 
     def run_until(self, until: float) -> float:
         """Convenience wrapper for :meth:`run` with a time bound."""

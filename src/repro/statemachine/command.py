@@ -10,7 +10,6 @@ from __future__ import annotations
 
 import enum
 import itertools
-from dataclasses import dataclass, field
 from typing import Optional
 
 
@@ -33,9 +32,16 @@ class OpType(enum.Enum):
 _command_uids = itertools.count(1)
 
 
-@dataclass(frozen=True)
 class Command:
     """A single key-value operation issued by a client.
+
+    A plain slotted class (one is allocated per client request, plus the
+    simulator passes it by reference through every replica); immutable by
+    convention, like the message types that carry it.  Equality is object
+    identity: ``uid`` is globally unique, so the old dataclass-generated
+    value equality (which included ``uid``) never compared two distinct
+    objects equal either -- compare ``uid`` explicitly when matching
+    commands across replicas, as the checkers do.
 
     Attributes:
         op: Operation type.
@@ -48,17 +54,33 @@ class Command:
         uid: Globally unique command id (assigned automatically).
     """
 
-    op: OpType
-    key: str
-    value: Optional[str] = None
-    payload_size: int = 8
-    client_id: int = -1
-    request_id: int = 0
-    uid: int = field(default_factory=lambda: next(_command_uids))
+    __slots__ = ("op", "key", "value", "payload_size", "client_id", "request_id", "uid")
 
-    def __post_init__(self) -> None:
-        if self.payload_size < 0:
+    def __init__(
+        self,
+        op: "OpType",
+        key: str,
+        value: Optional[str] = None,
+        payload_size: int = 8,
+        client_id: int = -1,
+        request_id: int = 0,
+        uid: Optional[int] = None,
+    ) -> None:
+        if payload_size < 0:
             raise ValueError("payload_size must be non-negative")
+        self.op = op
+        self.key = key
+        self.value = value
+        self.payload_size = payload_size
+        self.client_id = client_id
+        self.request_id = request_id
+        self.uid = next(_command_uids) if uid is None else uid
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Command({self.op.value} {self.key!r} client={self.client_id} "
+            f"req={self.request_id} uid={self.uid})"
+        )
 
     @property
     def is_read(self) -> bool:
@@ -82,14 +104,25 @@ class Command:
         return self.is_write or other.is_write
 
 
-@dataclass(frozen=True)
 class CommandResult:
-    """Outcome of applying a command to the state machine."""
+    """Outcome of applying a command to the state machine.
 
-    command_uid: int
-    success: bool
-    value: Optional[str] = None
-    existed: bool = False
+    A plain slotted class (one is allocated per applied command per
+    replica); immutable by convention.  Equality is object identity;
+    compare ``command_uid`` (and fields) explicitly when needed.
+    """
+
+    __slots__ = ("command_uid", "success", "value", "existed")
+
+    def __init__(self, command_uid: int, success: bool,
+                 value: Optional[str] = None, existed: bool = False) -> None:
+        self.command_uid = command_uid
+        self.success = success
+        self.value = value
+        self.existed = existed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CommandResult(uid={self.command_uid} success={self.success} value={self.value!r})"
 
     def payload_bytes(self) -> int:
         return len(self.value.encode("utf-8")) if self.value else 0

@@ -37,7 +37,7 @@ class KVStore:
     def apply(self, command) -> CommandResult:
         """Apply a committed command and return its result."""
         self._applied_count += 1
-        if isinstance(command, NoOp):
+        if type(command) is NoOp:
             return CommandResult(command_uid=command.uid, success=True)
 
         if command.op is OpType.GET:

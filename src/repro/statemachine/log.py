@@ -20,7 +20,7 @@ from typing import Callable, Dict, Iterator, List, Optional, Tuple
 from repro.errors import StateMachineError
 
 
-@dataclass
+@dataclass(slots=True)
 class LogEntry:
     """State of a single consensus slot."""
 
@@ -32,12 +32,20 @@ class LogEntry:
 
 
 class ReplicatedLog:
-    """Slot-indexed log with gap-aware in-order execution."""
+    """Slot-indexed log with gap-aware in-order execution.
+
+    ``dirty_slots`` records every slot whose entry was created, replaced or
+    committed since a consumer last cleared it.  The Paxos commit-frontier
+    scan uses it to re-examine only slots that could have become committable
+    instead of rescanning its whole announced window per message (which was
+    quadratic across a recovery gap).
+    """
 
     def __init__(self) -> None:
         self._entries: Dict[int, LogEntry] = {}
         self._next_execute = 1
         self._max_slot = 0
+        self.dirty_slots: set = set()
 
     # ----------------------------------------------------------------- access
     def __len__(self) -> int:
@@ -91,7 +99,9 @@ class ReplicatedLog:
         entry = LogEntry(slot=slot, ballot=ballot, command=command,
                          committed=existing.committed if existing else False)
         self._entries[slot] = entry
-        self._max_slot = max(self._max_slot, slot)
+        self.dirty_slots.add(slot)
+        if slot > self._max_slot:
+            self._max_slot = slot
         return entry
 
     def commit(self, slot: int, ballot: Tuple[int, int], command: object) -> LogEntry:
@@ -105,6 +115,7 @@ class ReplicatedLog:
         elif getattr(entry.command, "uid", None) != getattr(command, "uid", None):
             raise StateMachineError(f"conflicting commit for slot {slot}")
         entry.committed = True
+        self.dirty_slots.add(slot)
         return entry
 
     def is_committed(self, slot: int) -> bool:
@@ -126,6 +137,11 @@ class ReplicatedLog:
 
     def execute_ready(self, apply_fn: Callable[[object], object]) -> List[Tuple[LogEntry, object]]:
         """Execute every ready entry through ``apply_fn`` and advance the frontier."""
+        # Fast path: this runs after every commit-frontier advance, and most
+        # of those find nothing new to execute.
+        first = self._entries.get(self._next_execute)
+        if first is None or not first.committed:
+            return []
         executed: List[Tuple[LogEntry, object]] = []
         for entry in self.executable_entries():
             result = apply_fn(entry.command)

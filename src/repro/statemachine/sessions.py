@@ -79,17 +79,25 @@ class ClientSessionCache:
 
     def put(self, session_id: Hashable, request_id: int, result: object) -> None:
         """Record an applied command's result, evicting beyond the windows."""
-        session = self._sessions.get(session_id)
+        sessions = self._sessions
+        session = sessions.get(session_id)
         if session is None:
-            session = self._sessions[session_id] = OrderedDict()
-        self._sessions.move_to_end(session_id)
-        session[request_id] = result
-        session.move_to_end(request_id)
+            # A fresh insert already lands at the MRU end of both dicts, so
+            # the explicit move_to_end calls are only needed on re-touch.
+            session = sessions[session_id] = OrderedDict()
+            session[request_id] = result
+        else:
+            sessions.move_to_end(session_id)
+            if request_id in session:
+                session[request_id] = result
+                session.move_to_end(request_id)
+            else:
+                session[request_id] = result
         while len(session) > self._window:
             session.popitem(last=False)
             self.evictions += 1
-        while len(self._sessions) > self._max_clients:
-            self._sessions.popitem(last=False)
+        while len(sessions) > self._max_clients:
+            sessions.popitem(last=False)
             self.session_evictions += 1
 
     # ----------------------------------------------------------------- stats

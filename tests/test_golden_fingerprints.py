@@ -1,0 +1,55 @@
+"""Golden determinism fingerprints: the simulator-optimization tripwire.
+
+The hot-path overhaul (slotted events, tuple-compare heap entries, lazy
+histograms, per-type size caches, the incremental commit-frontier scan,
+inlined send paths) was required to preserve simulation results *bit for
+bit*: same seeds, same RNG draw order, same event counts, same virtual
+times, same client histories.  The fingerprints below were recorded on the
+pre-optimization tree (commit e5b611d) and verified identical on the
+optimized tree; any future "optimization" that shifts an event time, an RNG
+draw, or an event count by even one ulp fails here immediately.
+
+The set covers one representative per protocol, overlay and fault family:
+Paxos and PigPaxos baselines, WAN relay groups, a drop-storm with relay
+timeouts, EPaxos direct/relay/thrifty overlays, duplicate-delivery torture,
+and the two paper-scale 25-node deployments.  (The 40-virtual-second
+fault-tolerance run is covered by the cheaper storms here plus the safety
+sweep in ``test_scenarios.py`` -- re-running tens of wall-clock seconds for
+an identical signal is not worth the CI time.)
+
+``ScenarioResult.fingerprint()`` hashes the recorded client history, the
+completed-operation count, the total event count and the final virtual
+time, so it is machine-independent: only simulation semantics move it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scenarios.library import get_scenario
+from repro.scenarios.runner import ScenarioRunner
+
+#: scenario name -> fingerprint recorded at the pre-optimization baseline.
+GOLDEN_FINGERPRINTS = {
+    "pig-baseline-5": "4d7622561909e222d6c953db6204cccc85bb6bd033a2057685458e708b26b40e",
+    "paxos-baseline-5": "1fb9abcdd8059ffbfb833fdc9c4667e5f8a09dfaf84dceed0f73a6ff91280bf1",
+    "pig-wan-9": "189865e85d7041be4ae3b60eec234420b17b809ebb5b501743b5a7741a3ed1ae",
+    "pig-relay-timeout-storm": "1b3c0986c7ff3366eff2491f71d52a2f28cc93e0c2014911545d0d7fbed68b8d",
+    "epaxos-baseline-5": "81002a74403f56d167e2ac6ad6af9bd534c54d9c723510caad4314bf5a50182e",
+    "epaxos-relay-wan-9": "733cb905f5b355bd6e92c5369cc04254a3acfb34b2db75210e16c1a76f1b4ba5",
+    "epaxos-thrifty-crash": "5122df4495cc9c1170679c2a38d4e8e351c9392af04128db8674038aa2ab1185",
+    "epaxos-duplicate-torture": "35b164448a71c318befcd162779819ed02b942bc694f930eeda7f7bb1abf527e",
+    "paxos-throughput-25": "a31b239a31e6cefa06d77b2cf62c7058adf0c4f68cae3f83220e41f8734ff9b2",
+    "epaxos-relay-wan-25": "33c1e9444b5bc5788c0dbfef50bb2992abe57af9fb4f85593bec48411a29b472",
+}
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_FINGERPRINTS))
+def test_fingerprint_matches_pre_optimization_golden(name):
+    result = ScenarioRunner(get_scenario(name)).run()
+    assert result.ok, result.violations
+    assert result.fingerprint() == GOLDEN_FINGERPRINTS[name], (
+        f"scenario {name!r} no longer reproduces its pre-optimization "
+        f"fingerprint: an optimization changed simulation semantics "
+        f"(event order, RNG draw order, event count, or timing)"
+    )

@@ -1,0 +1,264 @@
+"""Tests for the hot-path fast paths introduced by the simulator overhaul.
+
+Three families:
+
+* The lazily-sorted :class:`~repro.sim.metrics.Histogram` must agree exactly
+  with the old keep-sorted-on-insert (``insort``) implementation for every
+  statistic, under arbitrary interleavings of observes and reads (a read
+  sorts; later observes must re-dirty the order).
+* The :class:`~repro.net.sizes.SizeModel` per-type payload cache must
+  resolve types with and without ``payload_bytes`` correctly, stay dynamic
+  per *instance*, and never leak results across types.
+* The incremental Paxos commit-frontier scan must behave exactly like a
+  full window rescan: late accepts into remembered gaps, fill commits, and
+  ballot changes must all be picked up.
+"""
+
+from __future__ import annotations
+
+import random
+from bisect import insort
+
+import pytest
+
+from repro.net.message import Message
+from repro.net.sizes import SizeModel
+from repro.sim.metrics import Histogram
+
+
+class _InsortReference:
+    """The pre-overhaul Histogram algorithm, kept as the test oracle."""
+
+    def __init__(self) -> None:
+        self._values = []
+        self._sum = 0.0
+
+    def observe(self, value: float) -> None:
+        insort(self._values, value)
+        self._sum += value
+
+    def percentile(self, p: float) -> float:
+        import math
+
+        if not self._values:
+            return 0.0
+        if len(self._values) == 1:
+            return self._values[0]
+        rank = (p / 100.0) * (len(self._values) - 1)
+        low, high = math.floor(rank), math.ceil(rank)
+        if low == high:
+            return self._values[int(rank)]
+        low_value, high_value = self._values[low], self._values[high]
+        if low_value == high_value:
+            return low_value
+        fraction = rank - low
+        interpolated = low_value * (1.0 - fraction) + high_value * fraction
+        return min(max(interpolated, low_value), high_value)
+
+
+class TestLazyHistogram:
+    def test_empty_histogram_statistics(self):
+        h = Histogram("h")
+        assert h.count == 0
+        assert h.min == 0.0 and h.max == 0.0 and h.mean == 0.0
+        assert h.percentile(99.0) == 0.0
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_insort_reference_on_random_orders(self, seed):
+        rng = random.Random(seed)
+        h = Histogram("h")
+        ref = _InsortReference()
+        for _ in range(rng.randint(1, 400)):
+            value = rng.uniform(0.0, 10.0)
+            h.observe(value)
+            ref.observe(value)
+        assert h.count == len(ref._values)
+        assert h.sum == pytest.approx(ref._sum)
+        assert h.min == ref._values[0]
+        assert h.max == ref._values[-1]
+        for p in (0.0, 10.0, 50.0, 90.0, 99.0, 100.0):
+            assert h.percentile(p) == ref.percentile(p), f"p{p} diverged (seed={seed})"
+
+    def test_observes_after_reads_redirty_the_order(self):
+        # The failure mode of a lazy sort: read once (sorts), then append a
+        # smaller value and read again -- a stale sorted-flag would return
+        # the old minimum.
+        h = Histogram("h")
+        for value in (5.0, 3.0, 4.0):
+            h.observe(value)
+        assert h.min == 3.0 and h.max == 5.0
+        h.observe(1.0)
+        assert h.min == 1.0
+        h.observe(9.0)
+        assert h.max == 9.0
+        assert h.median == 4.0
+
+    def test_interleaved_observe_read_property(self):
+        rng = random.Random(99)
+        h = Histogram("h")
+        shadow = []
+        for _ in range(500):
+            if shadow and rng.random() < 0.3:
+                ordered = sorted(shadow)
+                assert h.min == ordered[0]
+                assert h.max == ordered[-1]
+                assert h.percentile(50.0) == pytest.approx(
+                    _percentile_oracle(ordered, 50.0)
+                )
+            else:
+                value = rng.uniform(-5.0, 5.0)
+                h.observe(value)
+                shadow.append(value)
+
+    def test_snapshot_consistent(self):
+        h = Histogram("h")
+        for value in (2.0, 1.0, 3.0):
+            h.observe(value)
+        snap = h.snapshot()
+        assert snap["count"] == 3.0
+        assert snap["min"] == 1.0 and snap["max"] == 3.0
+        assert snap["p50"] == 2.0
+
+
+def _percentile_oracle(ordered, p):
+    import math
+
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (p / 100.0) * (len(ordered) - 1)
+    low, high = math.floor(rank), math.ceil(rank)
+    if low == high:
+        return ordered[int(rank)]
+    fraction = rank - low
+    return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+
+
+# --------------------------------------------------------------------- sizes
+class _Sized(Message):
+    """Message whose payload varies per instance."""
+
+    def __init__(self, payload: int) -> None:
+        self._payload = payload
+
+    def payload_bytes(self) -> int:
+        return self._payload
+
+
+class _MetadataOnly(Message):
+    """Message that inherits the base zero-payload implementation."""
+
+
+class _Negative(Message):
+    def payload_bytes(self) -> int:
+        return -100
+
+
+class TestSizeModelCache:
+    def test_type_with_payload_method(self):
+        model = SizeModel(header_bytes=64)
+        assert model.size_of(_Sized(100)) == 164
+        # The cache stores the *function*, not a size: per-instance payloads
+        # stay dynamic.
+        assert model.size_of(_Sized(0)) == 64
+        assert model.size_of(_Sized(7)) == 71
+
+    def test_type_without_payload_method(self):
+        model = SizeModel(header_bytes=32)
+        assert model.size_of(object()) == 32
+        assert model.size_of(object()) == 32
+
+    def test_inherited_base_payload_short_circuits_to_header(self):
+        model = SizeModel(header_bytes=48)
+        assert model.size_of(_MetadataOnly()) == 48
+
+    def test_negative_payload_clamped(self):
+        model = SizeModel(header_bytes=64)
+        assert model.size_of(_Negative()) == 64
+
+    def test_cache_does_not_leak_across_types(self):
+        model = SizeModel(header_bytes=10)
+        assert model.size_of(_Sized(5)) == 15
+        assert model.size_of(_MetadataOnly()) == 10
+        assert model.size_of(object()) == 10
+        assert model.size_of(_Sized(6)) == 16
+
+    def test_independent_models_share_nothing(self):
+        small = SizeModel(header_bytes=1)
+        big = SizeModel(header_bytes=1000)
+        probe = _Sized(5)
+        assert small.size_of(probe) == 6
+        assert big.size_of(probe) == 1005
+
+
+# ------------------------------------------------------ commit-frontier scan
+class TestIncrementalCommitFrontier:
+    """The gap-set frontier scan must match a naive full rescan exactly."""
+
+    def _replica(self, num_nodes=3):
+        from repro.cluster.builder import ClusterBuilder
+
+        cluster = ClusterBuilder().protocol("paxos").nodes(num_nodes).clients(1).seed(1).build()
+        return cluster.nodes[1].replica  # a follower
+
+    def test_late_accept_into_gap_commits_on_next_frontier(self):
+        from repro.protocol.ballot import Ballot
+        from repro.statemachine.command import Command, OpType
+
+        replica = self._replica()
+        ballot = Ballot(1, 0)
+        replica.promised = ballot
+        first = Command(op=OpType.PUT, key="a", value="1", client_id=7, request_id=1)
+        third = Command(op=OpType.PUT, key="a", value="3", client_id=7, request_id=3)
+        replica.log.accept(1, ballot, first)
+        replica.log.accept(3, ballot, third)
+        # Slot 2 missing: the frontier stalls and slots 2..3 become gaps.
+        replica._apply_commit_frontier(3, ballot)
+        assert replica.commit_upto == 1
+        assert 2 in replica._frontier_gaps
+        # The late accept for slot 2 arrives; the *next* frontier scan must
+        # re-examine the remembered gap and commit straight through.
+        second = Command(op=OpType.PUT, key="a", value="2", client_id=7, request_id=2)
+        replica.log.accept(2, ballot, second)
+        replica._apply_commit_frontier(3, ballot)
+        assert replica.commit_upto == 3
+        assert not replica._frontier_gaps
+
+    def test_ballot_change_rejudges_remembered_gaps(self):
+        from repro.protocol.ballot import Ballot
+        from repro.statemachine.command import Command, OpType
+
+        replica = self._replica()
+        old_ballot = Ballot(1, 0)
+        new_ballot = Ballot(2, 2)
+        replica.promised = new_ballot
+        command = Command(op=OpType.PUT, key="a", value="1", client_id=7, request_id=1)
+        replica.log.accept(1, new_ballot, command)
+        # Announced under the old ballot: entry mismatches, slot 1 is a gap.
+        replica._apply_commit_frontier(1, old_ballot)
+        assert replica.commit_upto == 0
+        assert 1 in replica._frontier_gaps
+        # Same entry, new announcing ballot: the gap must be re-judged and
+        # committed even though the log entry itself never changed.
+        replica._apply_commit_frontier(1, new_ballot)
+        assert replica.commit_upto == 1
+
+    def test_gap_above_announced_frontier_not_committed_early(self):
+        from repro.protocol.ballot import Ballot
+        from repro.statemachine.command import Command, OpType
+
+        replica = self._replica()
+        ballot = Ballot(1, 0)
+        replica.promised = ballot
+        # Slot 1 missing entirely; slots 2..3 present.  A high announcement
+        # records gaps, then a lower (reordered) announcement arrives: the
+        # scan must not touch slots above it.
+        for slot in (2, 3):
+            cmd = Command(op=OpType.PUT, key="a", value=str(slot), client_id=7, request_id=slot)
+            replica.log.accept(slot, ballot, cmd)
+        replica._apply_commit_frontier(3, ballot)
+        assert replica.commit_upto == 0
+        committed_high = replica.log.is_committed(3)
+        # Full-rescan semantics: slots <= the announced frontier with a
+        # matching ballot commit (2 and 3 did); slot 1 stays the gap.
+        assert committed_high
+        assert 1 in replica._frontier_gaps

@@ -54,10 +54,48 @@ class TestEventQueue:
         queue.cancel(event)
         assert len(queue) == 1
 
-    def test_negative_time_rejected(self):
-        queue = EventQueue()
+    def test_negative_time_validated_at_engine_boundary(self):
+        # The queue itself is branch-lean and trusts its callers; negative
+        # times are rejected once, at the Simulator scheduling boundary.
+        sim = Simulator()
         with pytest.raises(SimulationError):
-            queue.push(-1.0, lambda: None)
+            sim.schedule(-1.0, lambda: None)
+        with pytest.raises(SimulationError):
+            sim.schedule_at(-1.0, lambda: None)
+
+    def test_direct_event_cancel_keeps_len_exact(self):
+        # Regression: Event.cancel() used to skip the queue's live-count
+        # decrement, so len(queue) drifted unless queue.cancel() was used.
+        # All three cancel paths now share one implementation.
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        assert len(queue) == 2
+        event.cancel()
+        assert len(queue) == 1
+        event.cancel()  # idempotent
+        assert len(queue) == 1
+
+    def test_cancel_after_pop_does_not_corrupt_len(self):
+        queue = EventQueue()
+        first = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        popped = queue.pop()
+        assert popped is first
+        assert len(queue) == 1
+        # Cancelling an already-popped event must not double-decrement.
+        popped.cancel()
+        assert len(queue) == 1
+
+    def test_timer_handle_cancel_keeps_len_exact(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        assert sim.pending_events == 2
+        handle.cancel()
+        assert sim.pending_events == 1
+        handle.cancel()
+        assert sim.pending_events == 1
 
     def test_peek_time_skips_cancelled(self):
         queue = EventQueue()
@@ -157,6 +195,23 @@ class TestSimulator:
             sim.schedule(0.1, lambda: None)
         sim.run()
         assert sim.events_processed == 3
+
+    def test_mid_run_reset_keeps_bookkeeping_exact(self, sim):
+        # Regression for the deferred-counter experiment: a callback may
+        # reset() the simulator mid-run; the queue length and event counter
+        # must reflect post-reset reality, not pre-reset accumulation.
+        fired = []
+
+        def resetter():
+            sim.reset()
+            sim.schedule(0.1, fired.append, "a")
+            sim.schedule(0.2, fired.append, "b")
+
+        sim.schedule(0.1, resetter)
+        sim.run(max_events=2)
+        assert fired == ["a"]
+        assert sim.pending_events == 1
+        assert sim.events_processed == 1  # reset zeroed the pre-reset count
 
     def test_run_to_until_with_empty_queue_advances_clock(self, sim):
         sim.run(until=1.5)
