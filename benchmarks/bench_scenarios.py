@@ -5,9 +5,12 @@ Two benchmark-shaped views of the scenario/checker stack:
 * ``test_scenario_library_safety_sweep`` runs the whole canned scenario
   library from ``repro.scenarios`` -- leader crashes, partitions, drop
   storms, relay churn, overlay faults -- and reports, per scenario, client
-  throughput, fault counters and the checkers' verdict.  Any future
-  scale/speed PR can eyeball this table to see whether an optimization
-  traded away correctness under adversity.
+  throughput, a *post-crash-recovery* throughput column (ops/s over the
+  window after the scenario's last crash event; the number the EPaxos
+  explicit-prepare recovery path exists to keep from collapsing), fault
+  counters and the checkers' verdict.  Any future scale/speed PR can
+  eyeball this table to see whether an optimization traded away
+  correctness under adversity.
 
 * ``test_communication_cost_matrix`` reproduces the paper's headline
   comparison on a fault-free 9-node WAN deployment, extended to the
@@ -64,12 +67,38 @@ def _merge_into_json(section: str, payload) -> None:
 # Library safety sweep
 
 
+def _post_crash_ops_per_sec(result):
+    """Throughput over the window after the scenario's last crash event.
+
+    The post-crash-recovery column of the sweep: before explicit-prepare
+    recovery (PR 5) the EPaxos crash scenarios collapsed here even though
+    their full-run averages looked healthy, because the pre-crash half of
+    the run hid the stall.  ``None`` for fault-free scenarios.
+    """
+    crash_times = [
+        event.at
+        for event in result.scenario.events
+        if event.action in ("crash", "crash_leader")
+    ]
+    if not crash_times:
+        return None
+    since = max(crash_times)
+    window = result.scenario.duration - since
+    if window <= 0:
+        return None
+    completed_after = sum(
+        1 for op in result.history.completed() if op.completed_at > since
+    )
+    return round(completed_after / window, 1)
+
+
 def _run_library():
     records = []
     for name in sorted(all_scenarios()):
         result = run_scenario(all_scenarios()[name])
         counters = result.counters()
         node, hot = bottleneck_node(counters)
+        post_crash = _post_crash_ops_per_sec(result)
         records.append(
             {
                 "scenario": name,
@@ -77,6 +106,7 @@ def _run_library():
                 "nodes": result.scenario.num_nodes,
                 "completed": result.completed_requests,
                 "ops_per_sec": round(result.completed_requests / result.scenario.duration, 1),
+                "post_crash_ops_per_sec": post_crash,
                 "messages_sent": int(counters.get("net.messages_sent", 0)),
                 "bytes_sent": int(counters.get("net.bytes_sent", 0)),
                 "crashes": int(counters.get("faults.crashes", 0)),
@@ -105,6 +135,7 @@ def test_scenario_library_safety_sweep(benchmark):
             r["protocol"],
             r["nodes"],
             f"{r['ops_per_sec']:.0f}",
+            "-" if r["post_crash_ops_per_sec"] is None else f"{r['post_crash_ops_per_sec']:.0f}",
             r["crashes"],
             r["drops"],
             r["dups"],
@@ -114,7 +145,7 @@ def test_scenario_library_safety_sweep(benchmark):
         for r in records
     ]
     lines = comparison_table(
-        ["scenario", "protocol", "nodes", "ops/s", "crashes", "drops", "dups", "relay t/o", "checkers"],
+        ["scenario", "protocol", "nodes", "ops/s", "post-crash ops/s", "crashes", "drops", "dups", "relay t/o", "checkers"],
         rows,
     )
     report("scenario_safety_sweep", "Adversarial scenario sweep (safety checkers enabled)", lines)

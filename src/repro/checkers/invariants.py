@@ -29,6 +29,21 @@ checks:
   state-machine-equivalence property that dependency tracking exists to
   provide.
 
+Explicit-prepare recovery (PR 5) may legally commit an instance as a
+*no-op*: a keyless :class:`~repro.statemachine.command.NoOp` that preserves
+whatever dependency edges the recovery round gathered.  The EPaxos checks
+treat such instances as first-class graph vertices -- their dependency
+edges still order everything executed through them
+(:func:`check_epaxos_execution_order` and the reachability closure of
+:func:`check_epaxos_conflict_ordering` walk them like any other committed
+instance) -- while the per-key families skip them (a no-op touches no key,
+so it neither creates a conflict pair nor appears in a per-key executed
+sequence).  What recovery must still never do is commit a no-op for an
+instance some replica committed (or executed) with the real command: that
+divergence is exactly what :func:`check_epaxos_instance_agreement` and
+:func:`check_epaxos_execution_consistency` flag, and the forced-no-op
+mutation test in ``tests/test_scenarios.py`` keeps them honest.
+
 Each check takes the :class:`~repro.cluster.builder.Cluster` post-run and
 returns a list of :class:`Violation` records; an empty list means the
 invariant held.  Replicas without a ``log`` attribute (EPaxos) are skipped
@@ -309,7 +324,9 @@ def check_epaxos_execution_order(cluster) -> List[Violation]:
     one batch) -- D must execute strictly before X.  Within one component
     the batch must execute in ``(seq, instance id)`` order, the protocol's
     deterministic cycle tie-break.  An instance may also never execute
-    twice.
+    twice.  Recovered no-op instances participate like any other vertex:
+    their preserved dependency edges are enforced, so a recovery that
+    dropped an edge while no-op'ing an orphan still fails here.
     """
     violations: List[Violation] = []
     for node_id, replica in sorted(_epaxos_replicas(cluster).items()):

@@ -323,6 +323,12 @@ class ClusterBuilder:
                     "paxos with a relay overlay is PigPaxos; use protocol "
                     "'pigpaxos' (configured via PigPaxosConfig) instead"
                 )
+            if config.recovery_timeout is not None or config.leader_retry_timeout is not None:
+                raise ConfigurationError(
+                    "recovery_timeout and leader_retry_timeout are EPaxos "
+                    "knobs (PigPaxos has its own leader retry); plain paxos "
+                    "would silently ignore them"
+                )
             overlay = build_overlay(overlay_config)
             return MultiPaxosReplica(config=config, overlay=overlay)
         if self._protocol == "pigpaxos":
@@ -346,18 +352,26 @@ class ClusterBuilder:
             overlay = build_overlay(overlay_config, region_of=topology.region_map())
             if config is None:
                 return EPaxosReplica(overlay=overlay)
-            # EPaxos consumes only the shared session_window and overlay
-            # knobs; reject a config that sets anything else rather than
-            # silently ignore it.
+            # EPaxos consumes only the shared session_window, overlay,
+            # recovery_timeout and leader_retry_timeout knobs; reject a
+            # config that sets anything else rather than silently ignore it.
             if type(config) is not ProtocolConfig or config != ProtocolConfig(
-                session_window=config.session_window, overlay=config.overlay
+                session_window=config.session_window,
+                overlay=config.overlay,
+                recovery_timeout=config.recovery_timeout,
+                leader_retry_timeout=config.leader_retry_timeout,
             ):
                 raise ConfigurationError(
-                    "epaxos only consumes ProtocolConfig.session_window and "
-                    ".overlay; other protocol-config fields would be "
-                    "silently ignored"
+                    "epaxos only consumes ProtocolConfig.session_window, "
+                    ".overlay, .recovery_timeout and .leader_retry_timeout; "
+                    "other protocol-config fields would be silently ignored"
                 )
-            return EPaxosReplica(session_window=config.session_window, overlay=overlay)
+            return EPaxosReplica(
+                session_window=config.session_window,
+                overlay=overlay,
+                recovery_timeout=config.recovery_timeout,
+                leader_retry_timeout=config.leader_retry_timeout,
+            )
         raise ConfigurationError(f"unknown protocol {self._protocol!r}")
 
 

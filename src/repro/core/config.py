@@ -53,6 +53,11 @@ class PigPaxosConfig(ProtocolConfig):
 
     def __post_init__(self) -> None:
         super().__post_init__()
+        if self.recovery_timeout is not None:
+            raise ConfigurationError(
+                "recovery_timeout is an EPaxos knob (dependency-graph "
+                "instance recovery); PigPaxos would silently ignore it"
+            )
         if self.num_relay_groups < 1:
             raise ConfigurationError("num_relay_groups must be >= 1")
         if self.relay_timeout <= 0:

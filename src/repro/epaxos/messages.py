@@ -4,16 +4,34 @@ Instances are identified by ``(replica_id, instance_number)``.  Dependency
 sets and sequence numbers ride along with every message, which is why EPaxos
 messages grow with the conflict rate -- an effect the wire-size model charges
 for via ``payload_bytes``.
+
+Every voting message also carries a per-instance *ballot*: a
+``(number, replica_id)`` pair ordered lexicographically.  An instance's
+original command leader runs at the default ballot ``(0, leader_id)``; the
+explicit-prepare recovery path (:class:`EPrepare`/:class:`EPrepareReply`)
+claims higher ballots so that a survivor finishing -- or no-op'ing -- a
+crashed leader's instance can never race the original round into committing
+two different values.  Ballots are fixed-width protocol metadata, so they
+are covered by the header estimate in :class:`~repro.net.sizes.SizeModel`
+and do not contribute to ``payload_bytes``.
 """
 
 from __future__ import annotations
 
-from typing import FrozenSet, Tuple
+from typing import FrozenSet, Optional, Tuple
 
 from repro.net.message import Message
 from repro.statemachine.command import Command
 
 InstanceId = Tuple[int, int]
+
+#: Per-instance ballot: (number, replica_id), compared lexicographically.
+Ballot = Tuple[int, int]
+
+
+def initial_ballot(instance: InstanceId) -> Ballot:
+    """The default ballot an instance's original command leader runs at."""
+    return (0, instance[0])
 
 
 def _deps_bytes(deps: FrozenSet[InstanceId]) -> int:
@@ -29,17 +47,18 @@ class EPreAccept(Message):
     per round, and the frozen-dataclass constructor is ~2.5x slower.
     """
 
-    __slots__ = ("instance", "command", "seq", "deps")
+    __slots__ = ("instance", "command", "seq", "deps", "ballot")
 
     def __init__(self, instance: InstanceId, command: Command, seq: int,
-                 deps: FrozenSet[InstanceId]) -> None:
+                 deps: FrozenSet[InstanceId], ballot: Optional[Ballot] = None) -> None:
         self.instance = instance
         self.command = command
         self.seq = seq
         self.deps = deps
+        self.ballot = ballot if ballot is not None else initial_ballot(instance)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"EPreAccept(instance={self.instance} seq={self.seq})"
+        return f"EPreAccept(instance={self.instance} seq={self.seq} ballot={self.ballot})"
 
     def payload_bytes(self) -> int:
         return self.command.payload_bytes() + _deps_bytes(self.deps)
@@ -48,16 +67,18 @@ class EPreAccept(Message):
 class EPreAcceptReply(Message):
     """A replica's (possibly updated) view of the instance's seq and deps."""
 
-    __slots__ = ("instance", "voter", "ok", "seq", "deps", "changed")
+    __slots__ = ("instance", "voter", "ok", "seq", "deps", "changed", "ballot")
 
     def __init__(self, instance: InstanceId, voter: int, ok: bool, seq: int,
-                 deps: FrozenSet[InstanceId], changed: bool) -> None:
+                 deps: FrozenSet[InstanceId], changed: bool,
+                 ballot: Optional[Ballot] = None) -> None:
         self.instance = instance
         self.voter = voter
         self.ok = ok
         self.seq = seq
         self.deps = deps
         self.changed = changed
+        self.ballot = ballot if ballot is not None else initial_ballot(instance)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"EPreAcceptReply(instance={self.instance} voter={self.voter} changed={self.changed})"
@@ -67,36 +88,105 @@ class EPreAcceptReply(Message):
 
 
 class EAccept(Message):
-    """Slow-path accept carrying the union of dependencies."""
+    """Slow-path accept carrying the union of dependencies.
 
-    __slots__ = ("instance", "command", "seq", "deps")
+    Also the phase-2 vehicle of the recovery path: a recovery coordinator
+    finishes (or no-ops) an orphaned instance by winning an Accept round at
+    a ballot above the default one.
+    """
+
+    __slots__ = ("instance", "command", "seq", "deps", "ballot")
 
     def __init__(self, instance: InstanceId, command: Command, seq: int,
-                 deps: FrozenSet[InstanceId]) -> None:
+                 deps: FrozenSet[InstanceId], ballot: Optional[Ballot] = None) -> None:
         self.instance = instance
         self.command = command
         self.seq = seq
         self.deps = deps
+        self.ballot = ballot if ballot is not None else initial_ballot(instance)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"EAccept(instance={self.instance} seq={self.seq})"
+        return f"EAccept(instance={self.instance} seq={self.seq} ballot={self.ballot})"
 
     def payload_bytes(self) -> int:
         return self.command.payload_bytes() + _deps_bytes(self.deps)
 
 
 class EAcceptReply(Message):
-    """Acknowledgement of the slow-path accept."""
+    """Acknowledgement (or ballot rejection) of the slow-path accept."""
 
-    __slots__ = ("instance", "voter", "ok")
+    __slots__ = ("instance", "voter", "ok", "ballot")
 
-    def __init__(self, instance: InstanceId, voter: int, ok: bool) -> None:
+    def __init__(self, instance: InstanceId, voter: int, ok: bool,
+                 ballot: Optional[Ballot] = None) -> None:
         self.instance = instance
         self.voter = voter
         self.ok = ok
+        self.ballot = ballot if ballot is not None else initial_ballot(instance)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"EAcceptReply(instance={self.instance} voter={self.voter})"
+        return f"EAcceptReply(instance={self.instance} voter={self.voter} ok={self.ok})"
+
+
+class EPrepare(Message):
+    """Explicit-prepare probe opening the recovery of one instance.
+
+    Sent by a replica whose execution has been blocked on an uncommitted
+    dependency past ``ProtocolConfig.recovery_timeout``.  Claims ``ballot``
+    (strictly above the default ballot) at every reachable replica so the
+    coordinator can learn the instance's most advanced surviving state and
+    finish it -- or, when no survivor has ever heard of the command, commit
+    a no-op in its place.  Hand-slotted like the other per-round types.
+    """
+
+    __slots__ = ("instance", "ballot")
+
+    def __init__(self, instance: InstanceId, ballot: Ballot) -> None:
+        self.instance = instance
+        self.ballot = ballot
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"EPrepare(instance={self.instance} ballot={self.ballot})"
+
+
+class EPrepareReply(Message):
+    """One replica's recorded state for an instance under recovery.
+
+    ``status`` is the replica's local view (``"unknown"`` when it has never
+    seen the instance's command); ``attr_ballot`` is the ballot at which the reported
+    attributes were written (the recovery decision table must prefer the
+    most recent accept); ``changed`` reports whether the replica's original
+    PreAccept answer modified the leader's proposed attributes -- the
+    fast-path-possible test counts only *unchanged* default-ballot replies.
+    """
+
+    __slots__ = ("instance", "voter", "ok", "ballot", "status", "seq",
+                 "deps", "command", "attr_ballot", "changed")
+
+    def __init__(self, instance: InstanceId, voter: int, ok: bool, ballot: Ballot,
+                 status: str, seq: int, deps: FrozenSet[InstanceId],
+                 command: Optional[Command], attr_ballot: Ballot,
+                 changed: bool) -> None:
+        self.instance = instance
+        self.voter = voter
+        self.ok = ok
+        self.ballot = ballot
+        self.status = status
+        self.seq = seq
+        self.deps = deps
+        self.command = command
+        self.attr_ballot = attr_ballot
+        self.changed = changed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"EPrepareReply(instance={self.instance} voter={self.voter} "
+            f"ok={self.ok} status={self.status!r})"
+        )
+
+    def payload_bytes(self) -> int:
+        command_bytes = self.command.payload_bytes() if self.command is not None else 0
+        return command_bytes + _deps_bytes(self.deps)
 
 
 class ECommit(Message):

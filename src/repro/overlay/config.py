@@ -51,6 +51,12 @@ class OverlayConfig:
         fixed_relays: Disable per-round relay rotation (ablation).
         thrifty_fallback_timeout: How long a thrifty round may stay
             incomplete before the message is re-sent to every peer.
+        commit_fallback_timeout: Relay-overlay commit durability -- when
+            set, fire-and-forget fan-outs (commit notifications) demand a
+            lightweight ack from each first-hop relay, and a subtree whose
+            relay stays silent past this deadline is re-sent directly so a
+            relay crash can no longer lose the commit for its whole group.
+            ``None`` (the default) keeps the historical ack-free behaviour.
     """
 
     kind: str = "direct"
@@ -62,6 +68,7 @@ class OverlayConfig:
     relay_levels: int = 1
     fixed_relays: bool = False
     thrifty_fallback_timeout: float = 0.1
+    commit_fallback_timeout: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.kind not in OVERLAY_KINDS:
@@ -78,6 +85,10 @@ class OverlayConfig:
             raise ConfigurationError("group_response_threshold must be in (0, 1]")
         if self.thrifty_fallback_timeout <= 0:
             raise ConfigurationError("thrifty_fallback_timeout must be positive")
+        if self.commit_fallback_timeout is not None and self.commit_fallback_timeout <= 0:
+            raise ConfigurationError(
+                "commit_fallback_timeout must be positive (or None to disable)"
+            )
 
     @classmethod
     def coerce(cls, value: Union["OverlayConfig", str, Mapping, None]) -> Optional["OverlayConfig"]:
@@ -120,6 +131,7 @@ def build_overlay(
             response_threshold=config.group_response_threshold,
             levels=config.relay_levels,
             fixed_relays=config.fixed_relays,
+            commit_fallback_timeout=config.commit_fallback_timeout,
         )
     if config.kind == "thrifty":
         return ThriftyFanout(fallback_timeout=config.thrifty_fallback_timeout)

@@ -92,9 +92,15 @@ class RelayRequest(OverlayMessage):
         expects_response: False for pure fan-out traffic (heartbeats,
             commit notifications) where the root does not need the fan-in
             leg.
+        ack: True when the fan-out root wants a delivery acknowledgement
+            from its first-hop relay even though the traffic itself expects
+            no responses (commit-durability tracking: a relay that never
+            acks is presumed crashed and its whole subtree is re-sent
+            directly).  Only set when the root's overlay is configured with
+            a ``commit_fallback_timeout``.
     """
 
-    __slots__ = ("inner", "children", "agg_id", "timeout", "expects_response")
+    __slots__ = ("inner", "children", "agg_id", "timeout", "expects_response", "ack")
 
     def __init__(
         self,
@@ -103,12 +109,14 @@ class RelayRequest(OverlayMessage):
         agg_id: int,
         timeout: float,
         expects_response: bool = True,
+        ack: bool = False,
     ) -> None:
         self.inner = inner
         self.children = children
         self.agg_id = agg_id
         self.timeout = timeout
         self.expects_response = expects_response
+        self.ack = ack
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"RelayRequest(agg_id={self.agg_id} inner={self.inner!r})"

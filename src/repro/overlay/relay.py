@@ -59,6 +59,21 @@ class _AggregationSession:
     flushed: bool = False
 
 
+@dataclass(slots=True)
+class _CommitRound:
+    """Root-side durability tracking for one fire-and-forget fan-out.
+
+    ``subtrees`` maps each first-hop relay to the subtree it must deliver
+    to; a relay that has not acked by the fallback deadline is presumed
+    crashed and its subtree is re-sent directly (DirectFanout-style).
+    """
+
+    message: Message
+    subtrees: Dict[int, object] = field(default_factory=dict)
+    acked: set = field(default_factory=set)
+    timer: Optional[object] = None
+
+
 class RelayFanout(FanoutOverlay):
     """Fan out through per-round relay trees and aggregate replies back up."""
 
@@ -77,6 +92,7 @@ class RelayFanout(FanoutOverlay):
         response_threshold: Optional[float] = None,
         levels: int = 1,
         fixed_relays: bool = False,
+        commit_fallback_timeout: Optional[float] = None,
     ) -> None:
         super().__init__()
         self.num_groups = num_groups
@@ -87,6 +103,13 @@ class RelayFanout(FanoutOverlay):
         self.response_threshold = response_threshold
         self.levels = levels
         self.fixed_relays = fixed_relays
+        # Commit durability (ROADMAP item: a relay crashing mid-commit-round
+        # used to lose the commit for its whole group).  When set, fire-and-
+        # forget fan-outs demand a lightweight ack from each first-hop relay
+        # and any subtree whose relay stays silent past the deadline is
+        # re-sent directly, node by node.  None (default) keeps the
+        # historical ack-free behaviour and recorded fingerprints.
+        self.commit_fallback_timeout = commit_fallback_timeout
 
         self._plan: Optional[RelayGroupPlan] = None
         self._sessions: Dict[int, _AggregationSession] = {}
@@ -94,6 +117,8 @@ class RelayFanout(FanoutOverlay):
         # Parents of recently flushed sessions, so late child responses can
         # still be forwarded towards the fan-out root instead of being lost.
         self._flushed_parents: Dict[int, int] = {}
+        # Root-side commit-durability rounds awaiting relay acks.
+        self._pending_commits: Dict[int, _CommitRound] = {}
 
     # ------------------------------------------------------------------ groups
     def plan(self) -> RelayGroupPlan:
@@ -136,6 +161,7 @@ class RelayFanout(FanoutOverlay):
         )
         self._agg_counter += 1
         agg_id = self.host.node_id * 1_000_000_000 + self._agg_counter
+        want_ack = not expects_response and self.commit_fallback_timeout is not None
         relays: List[int] = []
         for tree in trees:
             request = RelayRequest(
@@ -144,9 +170,19 @@ class RelayFanout(FanoutOverlay):
                 agg_id=agg_id,
                 timeout=self.relay_timeout,
                 expects_response=expects_response,
+                ack=want_ack,
             )
             self.host.send(tree.node_id, request)
             relays.append(tree.node_id)
+        if want_ack and relays:
+            commit_round = _CommitRound(
+                message=message,
+                subtrees={tree.node_id: tree for tree in trees},
+            )
+            commit_round.timer = self.host.ctx.schedule(
+                self.commit_fallback_timeout, self._commit_fallback, agg_id
+            )
+            self._pending_commits[agg_id] = commit_round
         self.host.count("relay_fanouts")
         return relays
 
@@ -179,6 +215,14 @@ class RelayFanout(FanoutOverlay):
             # Pure fan-out traffic (heartbeats, commits): forward and stop.
             for child in msg.children:
                 self._forward_to_child(child, msg)
+            if msg.ack:
+                # Commit-durability leg: tell the root this subtree's relay
+                # is alive and has forwarded the round.  Duplicate requests
+                # re-ack; the root's acked-set makes that idempotent.
+                self.host.send(
+                    src,
+                    RelayAggregate(agg_id=msg.agg_id, responses=(), origin=self.host.node_id),
+                )
             return
 
         if not msg.children:
@@ -223,6 +267,17 @@ class RelayFanout(FanoutOverlay):
         return max(1, math.ceil(self.response_threshold * num_children))
 
     def _on_aggregate(self, src: int, msg: RelayAggregate) -> None:
+        commit_round = self._pending_commits.get(msg.agg_id)
+        if commit_round is not None:
+            # Durability ack for a fire-and-forget round this node fanned
+            # out: the relay is alive.  Once every relay acked, the round
+            # is durable and the fallback is disarmed.
+            commit_round.acked.add(msg.origin)
+            if len(commit_round.acked) >= len(commit_round.subtrees):
+                if commit_round.timer is not None:
+                    commit_round.timer.cancel()
+                del self._pending_commits[msg.agg_id]
+            return
         session = self._sessions.get(msg.agg_id)
         if session is not None and not session.flushed:
             # Count distinct children only: a child relay that flushed early
@@ -269,6 +324,29 @@ class RelayFanout(FanoutOverlay):
         else:
             self.host.count("late_aggregates_dropped")
 
+    def _commit_fallback(self, agg_id: int) -> None:
+        """A relay never acked a commit round: re-send its subtree directly.
+
+        The crashed relay's whole group would otherwise silently miss the
+        commit and stall its dependency graphs until client retries papered
+        over the hole.  Re-broadcast is DirectFanout-style -- one plain copy
+        of the inner message per subtree node -- and harmless to nodes that
+        did receive the relayed copy (commits are idempotent).
+        """
+        commit_round = self._pending_commits.pop(agg_id, None)
+        if commit_round is None:
+            return
+        resent = 0
+        for relay_id, subtree in sorted(commit_round.subtrees.items()):
+            if relay_id in commit_round.acked:
+                continue
+            for node_id in subtree.all_nodes():
+                self.host.send(node_id, commit_round.message)
+                resent += 1
+        if resent:
+            self.host.count("commit_fallbacks")
+            self.host.count("commit_fallback_resends", resent)
+
     def _session_timeout(self, agg_id: int) -> None:
         session = self._sessions.get(agg_id)
         if session is None or session.flushed:
@@ -299,6 +377,10 @@ class RelayFanout(FanoutOverlay):
                 session.timer.cancel()
         self._sessions.clear()
         self._flushed_parents.clear()
+        for commit_round in self._pending_commits.values():
+            if commit_round.timer is not None:
+                commit_round.timer.cancel()
+        self._pending_commits.clear()
 
     # ------------------------------------------------------------------ introspection
     @property

@@ -29,6 +29,23 @@ class ProtocolConfig:
         session_window: Per-client at-most-once dedup window -- how many of
             a client's most recently applied request results each replica
             retains (see :mod:`repro.statemachine.sessions`).
+        recovery_timeout: EPaxos explicit-prepare deadline -- how long a
+            replica's execution may stay blocked on an uncommitted
+            dependency before it opens a recovery round for that instance
+            (see :mod:`repro.epaxos.replica`).  ``None`` (the default)
+            disables recovery: orphaned instances block their dependents
+            forever, the pre-recovery behaviour.  Recovery is armed lazily
+            -- runs in which no instance ever blocks schedule no extra
+            events, so enabling the knob on a fault-free run leaves it
+            bit-for-bit identical.  EPaxos-only: the builder rejects it for
+            the Paxos family rather than silently ignoring it.
+        leader_retry_timeout: How long a round leader waits for a quorum on
+            an in-flight round before re-sending it through the overlay
+            (fresh relays under ``RelayFanout``).  Consumed by EPaxos,
+            where ``None`` (the default) disables it and rounds rely on
+            client retries; PigPaxos has always had its own (Figure 5b,
+            via :class:`~repro.core.config.PigPaxosConfig`, default 0.15).
+            Plain Multi-Paxos has no use for it and the builder rejects it.
         overlay: Fan-out overlay for wide-cast messages
             (:class:`~repro.overlay.config.OverlayConfig`, a kind string, or
             a mapping of its fields; ``None`` means the protocol's default
@@ -44,6 +61,8 @@ class ProtocolConfig:
     fill_gap_timeout: float = 0.1
     initial_leader: int = 0
     session_window: int = DEFAULT_SESSION_WINDOW
+    recovery_timeout: Optional[float] = None
+    leader_retry_timeout: Optional[float] = None
     overlay: Optional[Union[OverlayConfig, str, dict]] = None
 
     def __post_init__(self) -> None:
@@ -52,6 +71,10 @@ class ProtocolConfig:
             raise ConfigurationError("heartbeat_interval must be positive")
         if self.session_window < 1:
             raise ConfigurationError("session_window must be >= 1")
+        if self.recovery_timeout is not None and self.recovery_timeout <= 0:
+            raise ConfigurationError("recovery_timeout must be positive (or None to disable)")
+        if self.leader_retry_timeout is not None and self.leader_retry_timeout <= 0:
+            raise ConfigurationError("leader_retry_timeout must be positive (or None to disable)")
         if self.election_timeout_min <= 0 or self.election_timeout_max < self.election_timeout_min:
             raise ConfigurationError("invalid election timeout range")
         if self.election_timeout_min <= self.heartbeat_interval:

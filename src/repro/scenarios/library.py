@@ -6,14 +6,21 @@ the Paxos family: leader crashes mid-round, relays crashing out from under
 an open round, majority/minority partitions, message-drop storms that force
 relay timeouts, and continuous relay-group churn.  For EPaxos: hot-key
 contention storms (the paper's worst case for dependency tracking), drop
-storms, node crashes (which, without the explicit-prepare recovery path,
-degrade liveness of orphaned instances but must never break safety),
-partitions, and duplicate-delivery torture (retransmission storms that bite
+storms, node crashes -- covered twice: ``epaxos-crash-degraded`` keeps
+explicit-prepare recovery disabled (the historical degraded mode, where a
+crashed leader's orphaned instances block their dependents but never break
+safety), while ``epaxos-recovery-crash`` enables
+``ProtocolConfig.recovery_timeout`` and holds a ``progress`` floor proving
+survivors finish the orphans and throughput actually recovers -- plus
+partitions and duplicate-delivery torture (retransmission storms that bite
 on any reply-counting bug).  The overlay family exercises the pluggable
 fan-out layer: EPaxos PreAccept/Accept rounds through WAN relay trees,
 relay-group churn under a drop storm, and thrifty (quorum-subset) rounds
 whose fallback broadcast must hold a ``progress`` liveness floor under
-crashes and severed links.  The paper-scale tier exercises the headline
+crashes and severed links; ``epaxos-relay-recovery-25`` layers every
+durability mechanism at once -- instance recovery, relay commit-durability
+fallback and leader-side round retry -- on a paper-scale WAN relay
+deployment losing a node mid-run.  The paper-scale tier exercises the headline
 deployments the hot-path overhaul (PR 4) made affordable: the 25-node
 Multi-Paxos control run and its PigPaxos counterpart (Fig. 8), 25-node
 EPaxos over WAN relay trees, and a 40-virtual-second Fig.-13-style
@@ -234,7 +241,27 @@ def _scenarios() -> List[Scenario]:
             client_timeout=0.4,
             checks=EPAXOS_CHECK_NAMES,
             events=(E.crash(0.5, node=4),),
-            description="A leader dies for good; without explicit prepare its orphans stay blocked, safely.",
+            description="A leader dies for good with recovery disabled: the degraded-mode control where orphans stay blocked, safely.",
+        ),
+        Scenario(
+            name="epaxos-recovery-crash",
+            protocol="epaxos",
+            num_nodes=5,
+            num_clients=5,
+            duration=3.0,
+            seed=45,
+            client_timeout=0.4,
+            workload=WorkloadSpec.checking_default(num_keys=3),
+            checks=EPAXOS_CHECK_NAMES + ("progress",),
+            # Without explicit prepare this seed completes 590 ops (post-crash
+            # throughput collapses to ~2 ops once an orphan blocks the hot
+            # keyspace); with recovery it completes 739 (~170 after the crash).
+            # The floor proves the orphans actually get finished, not merely
+            # tolerated.
+            min_completed=650,
+            config_overrides={"recovery_timeout": 0.25},
+            events=(E.crash(0.5, node=4),),
+            description="A leader dies with rounds in flight on a 3-key keyspace; explicit-prepare recovery must finish its orphans and restore throughput.",
         ),
         Scenario(
             name="epaxos-partition-heal",
@@ -350,6 +377,31 @@ def _scenarios() -> List[Scenario]:
             description="Paper-scale 25-node EPaxos across three WAN regions, PreAccept/Accept/commit through region relay trees.",
         ),
         Scenario(
+            name="epaxos-relay-recovery-25",
+            protocol="epaxos",
+            num_nodes=25,
+            wan=True,
+            num_clients=8,
+            duration=2.5,
+            seed=89,
+            client_timeout=1.0,
+            checks=EPAXOS_CHECK_NAMES + ("progress",),
+            # Without the durability trio this seed completes 109 ops (21
+            # after the crash); with them it completes 143 (~60 after).
+            min_completed=125,
+            config_overrides={
+                "overlay": {
+                    "kind": "relay",
+                    "use_region_groups": True,
+                    "commit_fallback_timeout": 0.25,
+                },
+                "recovery_timeout": 0.4,
+                "leader_retry_timeout": 0.3,
+            },
+            events=(E.crash(0.8, node=7),),
+            description="Paper-scale WAN relay EPaxos loses a node mid-run: instance recovery, relay commit-durability fallback and leader round retry must together hold the progress floor.",
+        ),
+        Scenario(
             name="pig-fault-tolerance-long",
             protocol="pigpaxos",
             num_nodes=7,
@@ -422,7 +474,9 @@ def scenarios_for_protocol(protocol: str) -> Dict[str, Scenario]:
 #: thrifty) so an overlay regression fails fast.  The paper-scale 25-node
 #: scenarios ride along because they finish in about a second each after
 #: the hot-path overhaul; the 40-virtual-second fault-tolerance run stays
-#: full-sweep-only (tens of seconds of wall clock).
+#: full-sweep-only (tens of seconds of wall clock).  The two recovery
+#: scenarios are in smoke so a regression in the explicit-prepare path (or
+#: its overlay durability companions) fails fast.
 SMOKE_SCENARIOS = (
     "pig-baseline-5",
     "pig-crash-follower",
@@ -431,4 +485,6 @@ SMOKE_SCENARIOS = (
     "epaxos-thrifty-crash",
     "paxos-throughput-25",
     "epaxos-relay-wan-25",
+    "epaxos-recovery-crash",
+    "epaxos-relay-recovery-25",
 )

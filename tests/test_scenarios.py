@@ -99,7 +99,10 @@ class TestEPaxosScenarios:
         result = run_scenario(get_scenario("epaxos-drop-storm"))
         assert result.counters().get("epaxos.duplicate_commands_skipped", 0) >= 1
 
-    @pytest.mark.parametrize("name", ["epaxos-hot-key-storm", "epaxos-duplicate-torture"])
+    @pytest.mark.parametrize(
+        "name",
+        ["epaxos-hot-key-storm", "epaxos-duplicate-torture", "epaxos-recovery-crash"],
+    )
     def test_epaxos_scenarios_are_deterministic(self, name):
         scenario = get_scenario(name)
         first = run_scenario(scenario)
@@ -107,6 +110,60 @@ class TestEPaxosScenarios:
         assert first.fingerprint() == second.fingerprint()
         assert first.counters() == second.counters()
         assert first.events_processed == second.events_processed
+
+
+class TestEPaxosRecoveryScenarios:
+    def test_recovery_crash_actually_recovers_orphans(self):
+        result = run_scenario(get_scenario("epaxos-recovery-crash"))
+        counters = result.counters()
+        assert counters.get("epaxos.recoveries_started", 0) >= 1
+        assert counters.get("epaxos.recoveries_completed", 0) >= 1
+        # Survivors hold no blocked instance at the end of the run.
+        blocked = sum(
+            len(node.replica._pending_execution)
+            for node in result.cluster.nodes.values()
+            if not node.crashed
+        )
+        assert blocked == 0
+        # Post-crash throughput genuinely recovers (the degraded-mode twin
+        # of this scenario collapses to single digits after the crash).
+        post_crash = [op for op in result.history.completed() if op.completed_at > 0.7]
+        assert len(post_crash) > 50
+
+    def test_recovery_crash_floor_fails_without_recovery(self):
+        """The progress floor is what *proves* recovery works: the same
+        scenario with the knob removed must complete too few operations."""
+        from dataclasses import replace
+
+        scenario = get_scenario("epaxos-recovery-crash")
+        degraded = replace(scenario, name="recovery-crash-disabled", config_overrides=None)
+        result = run_scenario(degraded)
+        violations = {v.checker for v in result.violations}
+        assert violations == {"progress"}
+        assert result.completed_requests < scenario.min_completed
+
+    def test_relay_recovery_exercises_all_three_mechanisms(self):
+        result = run_scenario(get_scenario("epaxos-relay-recovery-25"))
+        counters = result.counters()
+        assert counters.get("epaxos.recoveries_started", 0) >= 1
+        assert counters.get("epaxos.commit_fallbacks", 0) >= 1
+        assert counters.get("epaxos.leader_round_retries", 0) >= 1
+
+    def test_drop_storm_recovery_adopts_dropped_commits(self):
+        """Recovery also repairs drop-induced commit holes: a replica whose
+        ECommit was dropped re-learns the decision through EPrepare."""
+        from dataclasses import replace
+
+        scenario = replace(
+            get_scenario("epaxos-drop-storm"),
+            name="drop-storm-with-recovery",
+            seed=41,
+            duration=2.5,
+            config_overrides={"recovery_timeout": 0.25},
+        )
+        result = run_scenario(scenario)
+        result.raise_on_violations()
+        assert result.counters().get("epaxos.recoveries_adopted_commit", 0) >= 1
 
 
 class TestMutationsAreCaught:
@@ -172,6 +229,40 @@ class TestMutationsAreCaught:
         assert not result.ok
         checkers = {violation.checker for violation in result.violations}
         assert "epaxos_execution_consistency" in checkers or "epaxos_conflict_ordering" in checkers
+
+    def test_epaxos_forced_noop_recovery_is_caught(self, monkeypatch):
+        """A recovery that no-ops every orphan -- ignoring the commit and
+        accept evidence its prepare round gathered -- must trip the EPaxos
+        invariants: some replica committed (and executed) the real command,
+        so the no-op commit diverges from it."""
+        from dataclasses import replace
+
+        from repro.epaxos.replica import EPaxosReplica, NoOp
+
+        def noop_everything(self, recovery, msg):
+            if msg.voter in recovery.replies:
+                return
+            recovery.replies[msg.voter] = msg
+            if len(recovery.replies) >= self.quorum.phase1_size:
+                self._recovery_accept(recovery, NoOp(), 1, frozenset(), noop=True)
+
+        monkeypatch.setattr(EPaxosReplica, "_record_prepare_reply", noop_everything)
+        scenario = replace(
+            get_scenario("epaxos-drop-storm"),
+            name="drop-storm-noop-mutation",
+            seed=41,
+            duration=2.5,
+            config_overrides={"recovery_timeout": 0.25},
+        )
+        result = run_scenario(scenario)
+        assert not result.ok
+        checkers = {violation.checker for violation in result.violations}
+        assert checkers & {
+            "epaxos_instance_agreement",
+            "epaxos_execution_consistency",
+            "epaxos_conflict_ordering",
+            "linearizability",
+        }
 
     def test_epaxos_planner_order_mutation_is_caught(self, monkeypatch):
         """A planner that drops the (seq, id) cycle tie-break (sorting by
