@@ -25,7 +25,7 @@ from repro.net.sizes import SizeModel
 from repro.net.topology import Topology
 from repro.overlay.config import OverlayConfig, build_overlay
 from repro.paxos.replica import MultiPaxosReplica
-from repro.protocol.config import ProtocolConfig
+from repro.protocol.config import DEFAULT_RECOVERY_TIMEOUT, ProtocolConfig
 from repro.sim.engine import Simulator
 from repro.workload.client import ClosedLoopClient
 from repro.workload.spec import WorkloadSpec
@@ -323,7 +323,12 @@ class ClusterBuilder:
                     "paxos with a relay overlay is PigPaxos; use protocol "
                     "'pigpaxos' (configured via PigPaxosConfig) instead"
                 )
-            if config.recovery_timeout is not None or config.leader_retry_timeout is not None:
+            if (
+                config.recovery_timeout not in (None, DEFAULT_RECOVERY_TIMEOUT)
+                or config.leader_retry_timeout is not None
+            ):
+                # The shared class default counts as "unset" for the Paxos
+                # family; only a deliberate override is an error.
                 raise ConfigurationError(
                     "recovery_timeout and leader_retry_timeout are EPaxos "
                     "knobs (PigPaxos has its own leader retry); plain paxos "

@@ -6,7 +6,7 @@ from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from repro.errors import ConfigurationError
-from repro.protocol.config import ProtocolConfig
+from repro.protocol.config import DEFAULT_RECOVERY_TIMEOUT, ProtocolConfig
 
 
 @dataclass
@@ -53,7 +53,10 @@ class PigPaxosConfig(ProtocolConfig):
 
     def __post_init__(self) -> None:
         super().__post_init__()
-        if self.recovery_timeout is not None:
+        if self.recovery_timeout not in (None, DEFAULT_RECOVERY_TIMEOUT):
+            # The class default is "unset" here: recovery_timeout defaults
+            # on for EPaxos, and PigPaxos must stay constructible with the
+            # shared default while still refusing a deliberate override.
             raise ConfigurationError(
                 "recovery_timeout is an EPaxos knob (dependency-graph "
                 "instance recovery); PigPaxos would silently ignore it"

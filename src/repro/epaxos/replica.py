@@ -71,6 +71,7 @@ from repro.net.message import Message
 from repro.overlay.base import FanoutOverlay
 from repro.overlay.messages import OverlayMessage
 from repro.protocol.base import Replica
+from repro.protocol.config import DEFAULT_RECOVERY_TIMEOUT
 from repro.protocol.messages import ClientReply, ClientRequest
 from repro.quorum.systems import FastQuorum
 from repro.statemachine.command import Command, CommandResult, NoOp
@@ -163,7 +164,7 @@ class EPaxosReplica(Replica):
         quorum: Optional[FastQuorum] = None,
         session_window: int = DEFAULT_SESSION_WINDOW,
         overlay: Optional[FanoutOverlay] = None,
-        recovery_timeout: Optional[float] = None,
+        recovery_timeout: Optional[float] = DEFAULT_RECOVERY_TIMEOUT,
         leader_retry_timeout: Optional[float] = None,
     ) -> None:
         super().__init__(overlay=overlay)
@@ -200,8 +201,8 @@ class EPaxosReplica(Replica):
         # Execution order as applied locally, for the cross-replica
         # execution-consistency checker (repro.checkers.invariants).
         self.executed_order: List[InstanceId] = []
-        # Explicit-prepare recovery (None disables it -- the default, so
-        # recorded fingerprints of recovery-free builds stay valid).  The
+        # Explicit-prepare recovery (on by default since the fuzzing PR;
+        # None restores the historical degraded mode).  The
         # deadline is tracked lazily: _try_execute stamps the first virtual
         # time it finds execution blocked on an uncommitted dependency and
         # only *checks* the stamp on later passes -- no timer is ever
@@ -945,13 +946,27 @@ class EPaxosReplica(Replica):
         key = getattr(reply.command, "key", None)
         if key is None:
             return False
+
+        def covered(deps: FrozenSet[InstanceId], target: InstanceId) -> bool:
+            # Deps keep only the *latest* interfering instance per origin,
+            # so an edge to (o, m) with m >= n transitively implies the
+            # edge to (o, n): both interfere on this key, hence (o, m)'s
+            # own deps chain down through every earlier same-key (o, i).
+            # Membership alone misses that and manufactured false
+            # disproofs of genuinely fast-committed instances (found by
+            # fuzzing, seed 462).
+            origin, number = target
+            return any(o == origin and m >= number for o, m in deps)
+
         graph = self.graph
         for other_id, other in self.instances.items():
             if other_id == instance_id or other.status not in (_COMMITTED, _EXECUTED):
                 continue
             if getattr(other.command, "key", None) != key:
                 continue
-            if other_id not in reply.deps and instance_id not in graph.deps_of(other_id):
+            if not covered(reply.deps, other_id) and not covered(
+                graph.deps_of(other_id), instance_id
+            ):
                 return True
         return False
 

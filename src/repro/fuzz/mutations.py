@@ -1,0 +1,117 @@
+"""Re-seedable known bugs for mutation-fuzz calibration.
+
+A fuzzer you have never seen find a bug is just a random workload
+generator.  This module re-seeds the three latent EPaxos bugs fixed in the
+"EPaxos under adversity" PR -- the same mutations the scenario-level
+mutation tests pin -- as named, reversible patches, so the fleet driver can
+prove end-to-end that random schedules + checkers + shrinking actually
+flush real protocol bugs out:
+
+* ``vote-dedup`` -- every delivered PreAccept/Accept reply counts as a
+  fresh vote, so a retransmission storm fakes fast-path quorums and drops
+  conflict edges (the pre-fix reply counting).
+* ``key-index`` -- the per-key conflict index keeps a single
+  last-writer-wins slot instead of one per origin replica, silently
+  dropping dependency edges under contention.
+* ``planner-order`` -- the execution planner sorts strongly connected
+  components by instance id alone, dropping the (seq, id) tie-break, so
+  replicas execute dependency cycles in different orders.
+
+``python -m repro.fuzz --fleet 40 --mutation vote-dedup --protocols epaxos``
+must find (and shrink) a violation; ``tests/test_fuzz.py`` gates all three.
+
+Usage::
+
+    from repro.fuzz.mutations import apply_mutation
+
+    with apply_mutation("key-index"):
+        result = run_scenario(generate_scenario(seed))
+    # patches are restored on exit, even on error
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional
+
+
+def _broken_register_vote(voters, voter):
+    """Pre-fix reply counting: duplicates masquerade as distinct voters."""
+    voters.add((voter, len(voters)))
+    return True
+
+
+def _broken_record_key(self, command, instance):
+    """Pre-fix conflict index: one last-writer-wins slot per key."""
+    self._key_index[command.key] = {instance[0]: instance[1]}
+
+
+def _make_broken_execution_order(original):
+    def id_sorted(self, root):
+        order, visited = original(self, root)
+        return sorted(order), visited
+
+    return id_sorted
+
+
+@contextmanager
+def _patched(cls, attr, make_value) -> Iterator[None]:
+    original = cls.__dict__[attr]
+    setattr(cls, attr, make_value(original))
+    try:
+        yield
+    finally:
+        setattr(cls, attr, original)
+
+
+@contextmanager
+def _vote_dedup() -> Iterator[None]:
+    from repro.epaxos.replica import EPaxosReplica
+
+    with _patched(EPaxosReplica, "_register_vote",
+                  lambda _orig: staticmethod(_broken_register_vote)):
+        yield
+
+
+@contextmanager
+def _key_index() -> Iterator[None]:
+    from repro.epaxos.replica import EPaxosReplica
+
+    with _patched(EPaxosReplica, "_record_key",
+                  lambda _orig: _broken_record_key):
+        yield
+
+
+@contextmanager
+def _planner_order() -> Iterator[None]:
+    from repro.epaxos.graph import DependencyGraph
+
+    with _patched(DependencyGraph, "execution_order",
+                  _make_broken_execution_order):
+        yield
+
+
+#: Mutation name -> context manager factory.  All three live in the EPaxos
+#: stack, so mutation-fuzz runs should use an epaxos-only profile.
+MUTATIONS: Dict[str, object] = {
+    "vote-dedup": _vote_dedup,
+    "key-index": _key_index,
+    "planner-order": _planner_order,
+}
+
+
+@contextmanager
+def apply_mutation(name: Optional[str]) -> Iterator[None]:
+    """Apply one named mutation for the duration of the block.
+
+    ``None`` is a no-op context, so callers can thread an optional
+    mutation name through without branching.
+    """
+    if name is None:
+        yield
+        return
+    if name not in MUTATIONS:
+        known = ", ".join(sorted(MUTATIONS))
+        raise KeyError(f"unknown mutation {name!r}; known: {known}")
+    with MUTATIONS[name]():
+        yield

@@ -471,6 +471,17 @@ class MultiPaxosReplica(Replica):
             proposal = self._proposals.pop(entry.slot, None)
             if proposal is None or proposal.client_id is None:
                 continue
+            if getattr(entry.command, "uid", -1) != getattr(proposal.command, "uid", -1):
+                # The slot was decided with a different command than this
+                # node proposed into it: a new leader's recovery re-proposal
+                # (often a gap-filling NoOp) won the slot after we lost the
+                # ballot.  Replying would acknowledge the client's command
+                # with the winner's result -- e.g. a NoOp's empty result for
+                # a GET, a phantom "not found" read the linearizability
+                # checker flags.  Stay silent; the client retries against
+                # the new leader.  (Fuzz-found, seed 257.)
+                self.count("orphaned_proposal_replies_suppressed")
+                continue
             reply = ClientReply(
                 command_uid=getattr(entry.command, "uid", -1),
                 request_id=proposal.request_id,

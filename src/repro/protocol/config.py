@@ -9,6 +9,14 @@ from repro.errors import ConfigurationError
 from repro.overlay.config import OverlayConfig
 from repro.statemachine.sessions import DEFAULT_SESSION_WINDOW
 
+#: Default EPaxos explicit-prepare deadline (seconds of virtual time).
+#: Recovery has been on by default since the fuzzing PR: the fuzz fleet
+#: exercises crash schedules constantly and a degraded-mode default made
+#: every one of them a liveness collapse.  The Paxos family treats this
+#: exact value as "unset" (the knob is EPaxos-only); pass ``None`` to get
+#: the historical degraded mode (see ``epaxos-crash-degraded``).
+DEFAULT_RECOVERY_TIMEOUT = 0.25
+
 
 @dataclass
 class ProtocolConfig:
@@ -32,13 +40,15 @@ class ProtocolConfig:
         recovery_timeout: EPaxos explicit-prepare deadline -- how long a
             replica's execution may stay blocked on an uncommitted
             dependency before it opens a recovery round for that instance
-            (see :mod:`repro.epaxos.replica`).  ``None`` (the default)
-            disables recovery: orphaned instances block their dependents
-            forever, the pre-recovery behaviour.  Recovery is armed lazily
-            -- runs in which no instance ever blocks schedule no extra
-            events, so enabling the knob on a fault-free run leaves it
-            bit-for-bit identical.  EPaxos-only: the builder rejects it for
-            the Paxos family rather than silently ignoring it.
+            (see :mod:`repro.epaxos.replica`).  Defaults to
+            :data:`DEFAULT_RECOVERY_TIMEOUT`; ``None`` disables recovery:
+            orphaned instances block their dependents forever, the
+            historical degraded mode.  Recovery is armed lazily -- runs in
+            which no instance ever blocks schedule no extra events, so the
+            knob changes nothing on runs that never block.  EPaxos-only:
+            the builder rejects any *other* explicit value for the Paxos
+            family rather than silently ignoring it (the class default is
+            treated as unset there).
         leader_retry_timeout: How long a round leader waits for a quorum on
             an in-flight round before re-sending it through the overlay
             (fresh relays under ``RelayFanout``).  Consumed by EPaxos,
@@ -61,7 +71,7 @@ class ProtocolConfig:
     fill_gap_timeout: float = 0.1
     initial_leader: int = 0
     session_window: int = DEFAULT_SESSION_WINDOW
-    recovery_timeout: Optional[float] = None
+    recovery_timeout: Optional[float] = DEFAULT_RECOVERY_TIMEOUT
     leader_retry_timeout: Optional[float] = None
     overlay: Optional[Union[OverlayConfig, str, dict]] = None
 

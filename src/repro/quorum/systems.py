@@ -88,10 +88,20 @@ class FlexibleQuorum(QuorumSystem):
 
 
 class FastQuorum(QuorumSystem):
-    """EPaxos-style quorums for a cluster of n = 2f + 1 nodes.
+    """EPaxos-style quorums for a cluster of n nodes tolerating f = (n-1)//2.
 
     The fast-path quorum is ``f + floor((f+1)/2)`` (including the command
-    leader); the slow path (explicit accept round) uses a simple majority.
+    leader), floored at a majority; the slow path (explicit accept round)
+    uses a simple majority.
+
+    The paper's formula assumes ``n = 2f + 1``.  For even n it can drop
+    below a majority (n=4 gives 2, n=6 gives 3), and two fast quorums then
+    no longer intersect -- two command leaders can fast-commit conflicting
+    commands with disjoint vote sets, neither learning the other's
+    dependency, so replicas execute the conflict in different orders.
+    Dependency safety requires every pair of fast quorums to share at
+    least one replica (2q > n), which a majority floor guarantees while
+    leaving every odd-n quorum exactly at the paper's size.
     """
 
     def __init__(self, n: int) -> None:
@@ -104,7 +114,7 @@ class FastQuorum(QuorumSystem):
 
     @property
     def fast_path_size(self) -> int:
-        return self._f + (self._f + 1) // 2
+        return max(self._f + (self._f + 1) // 2, self.n // 2 + 1)
 
     @property
     def phase1_size(self) -> int:

@@ -5,10 +5,13 @@ Used by CI for smoke runs and by developers to replay a scenario::
     PYTHONPATH=src python -m repro.scenarios --list
     PYTHONPATH=src python -m repro.scenarios --run pig-baseline-5 [--seed 7]
     PYTHONPATH=src python -m repro.scenarios --all [--protocol epaxos]
-    PYTHONPATH=src python -m repro.scenarios --smoke
+    PYTHONPATH=src python -m repro.scenarios --smoke --parallel 4
 
 ``--protocol`` filters ``--list``/``--all``/``--smoke`` to one protocol so a
-protocol-specific sweep is one flag.  Exit status is non-zero when any
+protocol-specific sweep is one flag.  ``--parallel N`` fans a sweep out to
+``N`` worker processes (``--parallel 0`` = one per core); runs stay
+single-core deterministic, so results and fingerprints are identical to the
+serial sweep -- only wall-clock changes.  Exit status is non-zero when any
 checker reports a violation.
 """
 
@@ -26,6 +29,7 @@ from repro.scenarios.library import (
     scenarios_for_protocol,
 )
 from repro.scenarios.runner import run_scenario
+from repro.scenarios.sweep import sweep
 
 
 def _run_one(scenario, verbose: bool = True) -> bool:
@@ -50,6 +54,12 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--protocol", choices=PROTOCOLS, default=None,
         help="restrict --list/--all/--smoke to one protocol's scenarios",
+    )
+    parser.add_argument(
+        "--parallel", type=int, default=None, metavar="N",
+        help="run --all/--smoke sweeps across N worker processes "
+             "(0 = one per core); per-scenario results are identical to "
+             "the serial sweep",
     )
     args = parser.parse_args(argv)
 
@@ -85,12 +95,16 @@ def main(argv=None) -> int:
         subset = "smoke scenarios" if args.smoke else "scenarios"
         print(f"error: no {subset} for protocol {args.protocol!r}", file=sys.stderr)
         return 2
+    scenarios = [get_scenario(name) for name in names]
+    if args.seed is not None:
+        scenarios = [replace(s, seed=args.seed) for s in scenarios]
+    outcomes = sweep(scenarios, parallel=args.parallel)
     ok = True
-    for name in names:
-        scenario = get_scenario(name)
-        if args.seed is not None:
-            scenario = replace(scenario, seed=args.seed)
-        ok = _run_one(scenario, verbose=False) and ok
+    for outcome in outcomes:
+        print(outcome.summary())
+        for _, message in outcome.violations:
+            print(f"    {message}")
+        ok = ok and outcome.ok
     print("ALL OK" if ok else "VIOLATIONS FOUND")
     return 0 if ok else 1
 

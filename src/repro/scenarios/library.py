@@ -6,11 +6,11 @@ the Paxos family: leader crashes mid-round, relays crashing out from under
 an open round, majority/minority partitions, message-drop storms that force
 relay timeouts, and continuous relay-group churn.  For EPaxos: hot-key
 contention storms (the paper's worst case for dependency tracking), drop
-storms, node crashes -- covered twice: ``epaxos-crash-degraded`` keeps
-explicit-prepare recovery disabled (the historical degraded mode, where a
+storms, node crashes -- covered twice: ``epaxos-crash-degraded`` pins
+explicit-prepare recovery *off* (the historical degraded mode, where a
 crashed leader's orphaned instances block their dependents but never break
-safety), while ``epaxos-recovery-crash`` enables
-``ProtocolConfig.recovery_timeout`` and holds a ``progress`` floor proving
+safety; recovery is otherwise on by default), while ``epaxos-recovery-crash``
+holds a ``progress`` floor proving
 survivors finish the orphans and throughput actually recovers -- plus
 partitions and duplicate-delivery torture (retransmission storms that bite
 on any reply-counting bug).  The overlay family exercises the pluggable
@@ -232,6 +232,84 @@ def _scenarios() -> List[Scenario]:
             description="A lossy window strands instances mid-round; retries spawn duplicate instances.",
         ),
         Scenario(
+            # Shrunk from fuzz seed 42 (`python -m repro.fuzz --seed 42`).
+            # On an even-size cluster the paper's fast-quorum formula
+            # f + floor((f+1)/2) drops below a majority (2 of 4), so two
+            # command leaders could fast-commit conflicting commands with
+            # disjoint vote sets and execute them in different orders.
+            # WAN latencies + a short client timeout make the client
+            # re-send the same command through a second leader, which is
+            # what manufactures the concurrent conflicting proposals.
+            name="epaxos-even-cluster-retry",
+            protocol="epaxos",
+            num_nodes=4,
+            num_clients=1,
+            duration=1.125,
+            seed=42,
+            wan=True,
+            workload=WorkloadSpec(num_keys=1, read_ratio=0.25,
+                                  distribution="zipfian", unique_values=True),
+            client_timeout=0.4,
+            checks=EPAXOS_CHECK_NAMES + ("progress",),
+            min_completed=10,
+            description="Fuzz-found (seed 42, shrunk): even-cluster fast quorums must still pairwise intersect or conflicting commands execute divergently.",
+        ),
+        Scenario(
+            # Fuzz-found regression (fleet seed 257, shrunk).  A deposed
+            # PigPaxos leader whose in-flight slot is NoOp-filled by the
+            # new leader's recovery used to acknowledge the orphaned
+            # client command with the NoOp's empty result -- a phantom
+            # "not found" read.  The partition inflates node 6's ballot
+            # (phase-1 retries while isolated), the duplicate storm shifts
+            # timing so a proposal is in flight at heal, and the takeover
+            # NoOp-fills its slot.
+            name="pig-deposed-leader-phantom-read",
+            protocol="pigpaxos",
+            num_nodes=7,
+            num_clients=6,
+            duration=2.0,
+            seed=257,
+            relay_groups=1,
+            wan=True,
+            workload=WorkloadSpec(num_keys=1, read_ratio=0.25,
+                                  unique_values=True),
+            client_timeout=0.3,
+            checks=("linearizability", "log_invariants", "progress"),
+            min_completed=40,
+            events=(
+                E.partition(0.576, (0, 1, 2, 3, 4, 5), (6,)),
+                E.duplicate_storm(1.349, probability=0.1),
+                E.heal_partition(1.58),
+            ),
+            description="Fuzz-found (seed 257, shrunk): a deposed leader must not answer a client with the result of the NoOp that displaced its proposal.",
+        ),
+        Scenario(
+            # Fuzz-found regression (fleet seed 462, shrunk).  A region
+            # partition of a 12-node WAN cluster forces explicit-prepare
+            # recovery of fast-committed instances; the recovery's
+            # fast-commit-disproof heuristic must treat a dependency on a
+            # *later* same-origin instance as covering every earlier one
+            # (deps keep only the latest interfering instance per origin),
+            # or it re-proposes with inflated deps and replicas commit
+            # divergent attributes for the same instance.
+            name="epaxos-region-partition-recovery",
+            protocol="epaxos",
+            num_nodes=12,
+            num_clients=3,
+            duration=0.844,
+            seed=462,
+            wan=True,
+            workload=WorkloadSpec(num_keys=1, read_ratio=0.0,
+                                  unique_values=True),
+            client_timeout=0.5,
+            checks=EPAXOS_CHECK_NAMES + ("progress",),
+            min_completed=10,
+            events=(
+                E.partition(0.406, (1, 2, 4, 5, 7, 8, 9, 10, 11), (0, 3, 6)),
+            ),
+            description="Fuzz-found (seed 462, shrunk): recovery's fast-commit disproof must respect latest-per-origin deps semantics or instance attributes diverge.",
+        ),
+        Scenario(
             name="epaxos-crash-degraded",
             protocol="epaxos",
             num_nodes=5,
@@ -240,6 +318,10 @@ def _scenarios() -> List[Scenario]:
             seed=43,
             client_timeout=0.4,
             checks=EPAXOS_CHECK_NAMES,
+            # Recovery is on by default everywhere else; this scenario pins
+            # it off deliberately -- the degraded-mode control proving that
+            # orphaned instances block liveness but never safety.
+            config_overrides={"recovery_timeout": None},
             events=(E.crash(0.5, node=4),),
             description="A leader dies for good with recovery disabled: the degraded-mode control where orphans stay blocked, safely.",
         ),
@@ -257,7 +339,9 @@ def _scenarios() -> List[Scenario]:
             # throughput collapses to ~2 ops once an orphan blocks the hot
             # keyspace); with recovery it completes 739 (~170 after the crash).
             # The floor proves the orphans actually get finished, not merely
-            # tolerated.
+            # tolerated.  Recovery now defaults on; the explicit override
+            # stays so the scenario keeps meaning "0.25s deadline" even if
+            # the default moves.
             min_completed=650,
             config_overrides={"recovery_timeout": 0.25},
             events=(E.crash(0.5, node=4),),

@@ -231,6 +231,8 @@ class Scenario:
             raise ConfigurationError("num_clients must be >= 1")
         if self.duration <= 0:
             raise ConfigurationError("duration must be positive")
+        if self.client_timeout is None or self.client_timeout <= 0:
+            raise ConfigurationError("client_timeout must be positive")
         if self.min_completed < 0:
             raise ConfigurationError("min_completed must be >= 0")
         for check in self.checks:

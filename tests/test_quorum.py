@@ -63,6 +63,25 @@ class TestFastQuorum:
         assert quorum.fast_path_satisfied(3)
         assert not quorum.fast_path_satisfied(2)
 
+    def test_even_clusters_floor_at_majority(self):
+        # Fuzz-found (seed 42): the paper's formula assumes n = 2f+1; on
+        # even n it fell below a majority (n=4 gave 2), letting two command
+        # leaders fast-commit conflicting commands with disjoint quorums.
+        assert FastQuorum(4).fast_path_size == 3
+        assert FastQuorum(6).fast_path_size == 4
+
+    def test_fast_quorums_pairwise_intersect(self):
+        # Dependency safety: any two fast quorums must share a replica.
+        for n in range(2, 26):
+            quorum = FastQuorum(n)
+            assert 2 * quorum.fast_path_size > n, f"n={n}"
+
+    def test_odd_clusters_keep_paper_sizes(self):
+        # The majority floor must not move any n = 2f+1 quorum.
+        for n in range(3, 26, 2):
+            f = (n - 1) // 2
+            assert FastQuorum(n).fast_path_size == f + (f + 1) // 2, f"n={n}"
+
 
 class TestVoteTracker:
     def test_quorum_reached_on_required_acks(self):

@@ -136,7 +136,11 @@ class TestEPaxosRecoveryScenarios:
         from dataclasses import replace
 
         scenario = get_scenario("epaxos-recovery-crash")
-        degraded = replace(scenario, name="recovery-crash-disabled", config_overrides=None)
+        degraded = replace(
+            scenario,
+            name="recovery-crash-disabled",
+            config_overrides={"recovery_timeout": None},
+        )
         result = run_scenario(degraded)
         violations = {v.checker for v in result.violations}
         assert violations == {"progress"}
