@@ -5,6 +5,11 @@ Scans the repo's markdown files for relative links and verifies every
 target exists.  External links (http/https/mailto) and pure anchors are
 skipped; a ``path#anchor`` link is checked for the path only.
 
+Additionally cross-checks the "Static analysis" section of
+``docs/ARCHITECTURE.md`` against the live ``repro.lint`` rule registry,
+in both directions: every registered rule id must be documented, and
+every documented rule id must exist in the registry.
+
 Usage::
 
     python scripts/check_docs.py [file_or_dir ...]   # defaults to README.md docs/
@@ -56,13 +61,77 @@ def check_file(markdown: Path) -> list[str]:
     return problems
 
 
+#: Backticked tokens that look like lint rule ids: lowercase kebab-case
+#: with at least one hyphen (filters out paths, module names and CLI
+#: flags, which carry dots, slashes or leading dashes).
+RULE_ID_RE = re.compile(r"`([a-z][a-z0-9]*(?:-[a-z0-9]+)+)`")
+
+ARCHITECTURE_MD = REPO_ROOT / "docs" / "ARCHITECTURE.md"
+STATIC_ANALYSIS_HEADING = "## Static analysis"
+
+
+def static_analysis_section(text: str) -> str | None:
+    """The body of ARCHITECTURE.md's "Static analysis" section, if present."""
+    start = text.find(STATIC_ANALYSIS_HEADING)
+    if start == -1:
+        return None
+    body_start = start + len(STATIC_ANALYSIS_HEADING)
+    end = text.find("\n## ", body_start)
+    return text[body_start:] if end == -1 else text[body_start:end]
+
+
+def check_lint_rule_docs() -> list[str]:
+    """Cross-check documented rule ids against the live rule registry."""
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    try:
+        from repro.lint.rules import RULES
+    finally:
+        sys.path.pop(0)
+
+    if not ARCHITECTURE_MD.exists():
+        return [f"{ARCHITECTURE_MD.relative_to(REPO_ROOT)}: file missing"]
+    section = static_analysis_section(ARCHITECTURE_MD.read_text(encoding="utf-8"))
+    if section is None:
+        return [
+            f"{ARCHITECTURE_MD.relative_to(REPO_ROOT)}: "
+            f'no "{STATIC_ANALYSIS_HEADING}" section (rule catalogue lives there)'
+        ]
+
+    documented = {token for token in RULE_ID_RE.findall(section) if token in RULES}
+    doc_only = {
+        token
+        for token in RULE_ID_RE.findall(section)
+        # Hyphenated backticked tokens in the rule-catalogue table column
+        # must be real rule ids; elsewhere in the section prose they may
+        # be ordinary hyphenated identifiers, so only the table is strict.
+        if token not in RULES
+        and any(
+            line.lstrip().startswith(f"| `{token}`")
+            for line in section.splitlines()
+        )
+    }
+    problems = []
+    for rule_id in sorted(set(RULES) - documented):
+        problems.append(
+            f"docs/ARCHITECTURE.md: lint rule `{rule_id}` is registered in "
+            "repro.lint.rules.RULES but missing from the Static analysis section"
+        )
+    for token in sorted(doc_only):
+        problems.append(
+            f"docs/ARCHITECTURE.md: Static analysis section documents `{token}` "
+            "but repro.lint.rules.RULES has no such rule"
+        )
+    return problems
+
+
 def main(arguments: list[str]) -> int:
     files = markdown_files(arguments)
     problems = [problem for markdown in files for problem in check_file(markdown)]
+    problems.extend(check_lint_rule_docs())
     for problem in problems:
         print(problem, file=sys.stderr)
     print(f"checked {len(files)} markdown file(s): "
-          f"{'OK' if not problems else f'{len(problems)} broken link(s)'}")
+          f"{'OK' if not problems else f'{len(problems)} problem(s)'}")
     return 1 if problems else 0
 
 

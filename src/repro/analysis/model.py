@@ -17,7 +17,7 @@ For a PigPaxos deployment of ``N`` nodes with ``r`` relay groups:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.errors import ConfigurationError
 

@@ -10,7 +10,7 @@ cross-WAN messages for PigPaxos versus 6 for Paxos per write (per direction).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping
+from typing import List, Mapping
 
 from repro.errors import ConfigurationError
 

@@ -8,7 +8,7 @@ plots, so a reader can compare shapes directly.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Sequence, Tuple
 
 Series = Sequence[Tuple[float, float]]
 

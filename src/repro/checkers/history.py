@@ -15,7 +15,7 @@ have taken effect at any point after their invocation, or never.
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
 
 
@@ -145,4 +145,5 @@ class HistoryRecorder:
 
     # ----------------------------------------------------------------- views
     def history(self) -> History:
+        # lint: ok(no-unordered-iteration) insertion order is invocation-recording order, which is the order the linearizability checker requires
         return History(list(self._ops.values()))

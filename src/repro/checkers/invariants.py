@@ -70,7 +70,7 @@ class Violation:
 
 def _replica_logs(cluster) -> Dict[int, object]:
     logs: Dict[int, object] = {}
-    for node_id, node in cluster.nodes.items():
+    for node_id, node in sorted(cluster.nodes.items()):
         log = getattr(node.replica, "log", None)
         if log is not None:
             logs[node_id] = log
@@ -81,7 +81,7 @@ def check_slot_agreement(cluster) -> List[Violation]:
     """At most one command may ever be committed per slot, cluster-wide."""
     violations: List[Violation] = []
     chosen: Dict[int, Tuple[int, Optional[int]]] = {}  # slot -> (node, uid)
-    for node_id, log in _replica_logs(cluster).items():
+    for node_id, log in sorted(_replica_logs(cluster).items()):
         for entry in log.entries():
             if not entry.committed:
                 continue
@@ -129,7 +129,7 @@ def check_prefix_agreement(cluster) -> List[Violation]:
 def check_execution_frontier(cluster) -> List[Violation]:
     """Execution must only ever cover a committed, gap-free prefix."""
     violations: List[Violation] = []
-    for node_id, log in _replica_logs(cluster).items():
+    for node_id, log in sorted(_replica_logs(cluster).items()):
         for slot in range(1, log.next_execute_slot):
             if not log.is_committed(slot):
                 violations.append(
@@ -164,7 +164,7 @@ def check_quorum_sanity(cluster) -> List[Violation]:
     """Phase-1 and phase-2 quorums must intersect (q1 + q2 > n)."""
     violations: List[Violation] = []
     cluster_size = len(cluster.nodes)
-    for node_id, node in cluster.nodes.items():
+    for node_id, node in sorted(cluster.nodes.items()):
         quorum = getattr(node.replica, "quorum", None)
         if quorum is None:
             continue
@@ -218,7 +218,7 @@ _EPAXOS_DECIDED = ("committed", "executed")
 
 def _epaxos_replicas(cluster) -> Dict[int, object]:
     replicas: Dict[int, object] = {}
-    for node_id, node in cluster.nodes.items():
+    for node_id, node in sorted(cluster.nodes.items()):
         replica = node.replica
         if getattr(replica, "graph", None) is not None and hasattr(replica, "instances"):
             replicas[node_id] = replica
@@ -480,9 +480,9 @@ def check_epaxos_conflict_ordering(cluster) -> List[Violation]:
     deps: Dict[Tuple[int, int], frozenset] = {}
     by_key: Dict[str, Set[Tuple[int, int]]] = {}
     executed: Set[Tuple[int, int]] = set()
-    for replica in replicas.values():
+    for _, replica in sorted(replicas.items()):
         executed.update(getattr(replica, "executed_order", []))
-        for instance_id, instance in replica.instances.items():
+        for instance_id, instance in sorted(replica.instances.items()):
             if instance.status not in _EPAXOS_DECIDED:
                 continue
             deps.setdefault(instance_id, frozenset(instance.deps))
@@ -506,7 +506,7 @@ def check_epaxos_conflict_ordering(cluster) -> List[Violation]:
         comp_members: Dict[int, List[Tuple[int, int]]] = {}
         for member in members:
             comp_members.setdefault(comp_index[scc[member]], []).append(member)
-        edges: Dict[int, Set[int]] = {i: set() for i in comp_index.values()}
+        edges: Dict[int, Set[int]] = {i: set() for i in range(len(components))}
         for member in members:
             src = comp_index[scc[member]]
             for dep in deps_of(member):

@@ -66,6 +66,7 @@ class Cluster:
         if self._started:
             return
         self._started = True
+        # lint: ok(no-unordered-iteration) nodes is built iterating topology.node_ids (sorted); insertion order IS ascending node-id start order
         for node in self.nodes.values():
             node.start()
         for client in self.clients:
@@ -109,10 +110,12 @@ class Cluster:
         return self.topology.node_ids
 
     def replicas(self) -> Dict[int, object]:
+        # lint: ok(no-unordered-iteration) nodes insertion order is ascending node id (built from sorted topology.node_ids)
         return {node_id: node.replica for node_id, node in self.nodes.items()}
 
     def leader_id(self) -> Optional[int]:
         """The id of the node currently acting as leader (Paxos/PigPaxos)."""
+        # lint: ok(no-unordered-iteration) first match must be the lowest node id; insertion order is ascending node id
         for node_id, node in self.nodes.items():
             if getattr(node.replica, "is_leader", False) and not node.crashed:
                 return node_id
@@ -121,6 +124,7 @@ class Cluster:
     def committed_prefixes(self) -> Dict[int, List[Optional[int]]]:
         """Gap-free committed command uids per replica (agreement checks)."""
         prefixes: Dict[int, List[Optional[int]]] = {}
+        # lint: ok(no-unordered-iteration) nodes insertion order is ascending node id (built from sorted topology.node_ids)
         for node_id, node in self.nodes.items():
             log = getattr(node.replica, "log", None)
             if log is not None:

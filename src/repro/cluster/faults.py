@@ -9,7 +9,7 @@ builder arms it on the simulator before the run starts.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.errors import ConfigurationError

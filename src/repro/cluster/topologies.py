@@ -61,6 +61,7 @@ def wan_topology(
     node_region: Dict[int, str] = {}
     regions: List[Region] = []
     all_nodes: List[int] = []
+    # lint: ok(no-unordered-iteration) region order is the caller's declared layout (paper's region order); sorting would scramble it
     for name, nodes in region_nodes.items():
         nodes = list(nodes)
         if not nodes:

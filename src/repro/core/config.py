@@ -2,8 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from dataclasses import dataclass
+from typing import Optional
 
 from repro.errors import ConfigurationError
 from repro.protocol.config import DEFAULT_RECOVERY_TIMEOUT, ProtocolConfig

@@ -15,7 +15,7 @@ paper's small-key-space workload.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 InstanceId = Tuple[int, int]
 

@@ -302,6 +302,7 @@ class EPaxosReplica(Replica):
         seq = 1
         index = self._key_index.get(command.key)
         if index:
+            # lint: ok(no-unordered-iteration) accumulates into a set and a max(); order-insensitive
             for origin, number in index.items():
                 last: InstanceId = (origin, number)
                 if last == exclude:
@@ -697,6 +698,7 @@ class EPaxosReplica(Replica):
         blocked_now: Set[InstanceId] = set()
         committed = self.graph.is_committed
         deps_of = self.graph.deps_of
+        # lint: ok(no-unordered-iteration) accumulates into the blocked_now set; consumers iterate it via sorted() below
         for pending_id in self._pending_execution:
             for dep in deps_of(pending_id):
                 if not committed(dep):
@@ -959,6 +961,7 @@ class EPaxosReplica(Replica):
             return any(o == origin and m >= number for o, m in deps)
 
         graph = self.graph
+        # lint: ok(no-unordered-iteration) pure existence scan (returns True on any hit); order-insensitive
         for other_id, other in self.instances.items():
             if other_id == instance_id or other.status not in (_COMMITTED, _EXECUTED):
                 continue

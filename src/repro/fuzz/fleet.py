@@ -114,19 +114,19 @@ def _outcomes(
     jobs = [(seed, profile, mutation) for seed in seeds]
     if parallel is None or parallel <= 1:
         for job in jobs:
-            if deadline is not None and time.monotonic() >= deadline:
+            if deadline is not None and time.monotonic() >= deadline:  # lint: ok(no-wall-clock) fleet time budget is real elapsed time; sim results unaffected
                 return
             yield _fuzz_worker(job)
         return
     with pool_context().Pool(processes=parallel) as pool:
         results = pool.imap(_fuzz_worker, jobs, chunksize=1)
         while True:
-            if deadline is not None and time.monotonic() >= deadline:
+            if deadline is not None and time.monotonic() >= deadline:  # lint: ok(no-wall-clock) fleet time budget is real elapsed time; sim results unaffected
                 pool.terminate()
                 return
             try:
                 timeout = None if deadline is None else max(
-                    0.1, deadline - time.monotonic()
+                    0.1, deadline - time.monotonic()  # lint: ok(no-wall-clock) fleet time budget is real elapsed time; sim results unaffected
                 )
                 yield results.next(timeout=timeout)
             except StopIteration:
@@ -156,7 +156,7 @@ def run_fleet(
     so the shrunk repro is validated against the same (buggy) code that
     produced the violation.
     """
-    started = time.monotonic()
+    started = time.monotonic()  # lint: ok(no-wall-clock) fleet time budget is real elapsed time; sim results unaffected
     deadline = None if time_budget is None else started + time_budget
     seeds = list(range(start_seed, start_seed + count))
     seeds_run = 0
@@ -200,5 +200,5 @@ def run_fleet(
         seeds_run=seeds_run,
         findings=findings,
         mutation=mutation,
-        wall_seconds=time.monotonic() - started,
+        wall_seconds=time.monotonic() - started,  # lint: ok(no-wall-clock) reported wall-clock duration of the fleet itself
     )

@@ -27,7 +27,7 @@ Example::
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Callable, FrozenSet, List, Optional, Sequence, Tuple
+from typing import FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.errors import ReproError
 from repro.scenarios.runner import run_scenario

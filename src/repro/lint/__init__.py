@@ -1,0 +1,39 @@
+"""repro.lint: static enforcement of the determinism contract.
+
+The dynamic guarantees (golden fingerprints, replayable fuzz seeds,
+parallel-vs-serial sweep identity) all ride on the contract in
+``docs/ARCHITECTURE.md``; this package catches contract violations before
+any scenario has to trip over them.  ``repro.lint`` owns the *semantic*
+rules; ``ruff`` (configured in ``pyproject.toml``) owns conventional style.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.lint src/repro
+    PYTHONPATH=src python -m repro.lint --list-rules
+    PYTHONPATH=src python -m repro.lint --list-suppressions src/repro
+"""
+
+from repro.lint.core import (
+    Finding,
+    FileContext,
+    LintEngine,
+    Rule,
+    Suppression,
+    iter_python_files,
+    parse_suppressions,
+    repro_relpath,
+)
+from repro.lint.rules import RULES, default_rules
+
+__all__ = [
+    "Finding",
+    "FileContext",
+    "LintEngine",
+    "Rule",
+    "RULES",
+    "Suppression",
+    "default_rules",
+    "iter_python_files",
+    "parse_suppressions",
+    "repro_relpath",
+]

@@ -10,9 +10,9 @@ from __future__ import annotations
 
 import random
 from abc import ABC, abstractmethod
-from math import cos, log, pi, sin, sqrt
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional, Tuple
+from math import cos, log, pi, sin, sqrt
+from typing import Dict, Mapping, Tuple
 
 from repro.errors import ConfigurationError
 

@@ -24,7 +24,7 @@ tables emitted by ``benchmarks/bench_scenarios.py``.
 from __future__ import annotations
 
 from heapq import heappush
-from typing import Any, Callable, Dict, Optional, Protocol
+from typing import Any, Dict, Optional, Protocol
 
 from repro.errors import NetworkError
 from repro.net.faults import NetworkFaults

@@ -9,7 +9,7 @@ mirroring how the paper's implementation reused Paxi's networking layer.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Any, Iterable, Sequence
+from typing import Any, Iterable
 
 
 class Transport(ABC):

@@ -14,7 +14,8 @@ backwards compatibility.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+import zlib
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.errors import ConfigurationError
@@ -57,7 +58,11 @@ def hash_groups(members: Sequence[int], num_groups: int) -> List[List[int]]:
     num_groups = min(num_groups, len(members)) or 1
     groups: List[List[int]] = [[] for _ in range(num_groups)]
     for member in members:
-        groups[hash(("pig-group", member)) % num_groups].append(member)
+        # crc32, not builtin hash(): hash() of a tuple containing ints is
+        # stable today, but the determinism contract wants a digest that can
+        # never pick up per-process salting (PYTHONHASHSEED).
+        digest = zlib.crc32(f"pig-group:{member}".encode("ascii"))
+        groups[digest % num_groups].append(member)
     populated = [group for group in groups if group]
     if len(populated) < num_groups:
         # Hashing left some groups empty (small clusters); fall back to a

@@ -39,7 +39,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Optional
 
 from repro.net.message import Message
-from repro.overlay.base import FanoutOverlay, OverlayHost
+from repro.overlay.base import FanoutOverlay
 from repro.overlay.groups import RelayGroupPlan, region_groups, round_robin_groups
 from repro.overlay.messages import RelayAggregate, RelayRequest, RelaySubtree
 
@@ -372,11 +372,13 @@ class RelayFanout(FanoutOverlay):
 
     # ------------------------------------------------------------------ lifecycle
     def on_crash(self) -> None:
+        # lint: ok(no-unordered-iteration) timer cancellation is order-insensitive; nothing is scheduled here
         for session in self._sessions.values():
             if session.timer is not None:
                 session.timer.cancel()
         self._sessions.clear()
         self._flushed_parents.clear()
+        # lint: ok(no-unordered-iteration) timer cancellation is order-insensitive; nothing is scheduled here
         for commit_round in self._pending_commits.values():
             if commit_round.timer is not None:
                 commit_round.timer.cancel()

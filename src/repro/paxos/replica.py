@@ -12,7 +12,7 @@ argument unchanged.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from heapq import heappop, heappush
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -304,6 +304,7 @@ class MultiPaxosReplica(Replica):
         if not missing:
             return
         self.count("leader_fill_requests")
+        # lint: ok(no-unordered-iteration) insertion order is promise-arrival order, deterministic under the sim; sorting would shift recorded fingerprints
         for voter, reported in commit_reports.items():
             if voter == self.node_id or reported <= self.commit_upto:
                 continue

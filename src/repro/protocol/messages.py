@@ -85,6 +85,7 @@ class ClientReply(Message):
 
 
 # --------------------------------------------------------------------- phase 1
+# lint: ok(no-frozen-dataclass-hot-path) phase-1 runs once per leader change, not per command; ctor cost is irrelevant here
 @dataclass(frozen=True, slots=True)
 class P1a(Message):
     """Phase-1a: "lead with ballot b?"."""
@@ -92,6 +93,7 @@ class P1a(Message):
     ballot: Ballot
 
 
+# lint: ok(no-frozen-dataclass-hot-path) phase-1 runs once per leader change, not per command; ctor cost is irrelevant here
 @dataclass(frozen=True, slots=True)
 class P1b(Message):
     """Phase-1b promise.  ``accepted`` maps slot -> (ballot, command).
@@ -110,6 +112,7 @@ class P1b(Message):
 
     def payload_bytes(self) -> int:
         total = 0
+        # lint: ok(no-unordered-iteration) sum accumulation; order-insensitive
         for _, command in self.accepted.values():
             try:
                 total += command.payload_bytes()
@@ -183,6 +186,7 @@ class Commit(Message):
 
 
 # --------------------------------------------------------------------- catch-up
+# lint: ok(no-frozen-dataclass-hot-path) gap-fill is a rare recovery path, not the per-command hot path
 @dataclass(frozen=True, slots=True)
 class FillRequest(Message):
     """A follower asking the leader for slots it is missing."""
@@ -191,6 +195,7 @@ class FillRequest(Message):
     requester: int
 
 
+# lint: ok(no-frozen-dataclass-hot-path) gap-fill is a rare recovery path, not the per-command hot path
 @dataclass(frozen=True, slots=True)
 class FillReply(Message):
     """Leader's response to a FillRequest: committed entries for the slots."""

@@ -14,7 +14,6 @@ fast path uses a super-majority of size ``f + floor((f+1)/2)`` out of
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass
 
 from repro.errors import QuorumError
 

@@ -9,7 +9,7 @@ paper's Figure 1).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional, Set, Tuple
 
 from repro.errors import QuorumError
@@ -95,6 +95,7 @@ class BallotVoteTracker:
         to the quorum's maximum as already decided.
         """
         if accepted:
+            # lint: ok(no-unordered-iteration) keep-highest-ballot merge per slot; order-insensitive
             for slot, (ballot, command) in accepted.items():
                 current = self._accepted.get(slot)
                 if current is None or ballot > current.ballot:

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import asyncio
 import itertools
-from typing import Any, Dict, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.errors import RuntimeTransportError
 from repro.protocol.messages import ClientReply, ClientRequest

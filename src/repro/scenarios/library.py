@@ -49,7 +49,17 @@ from repro.workload.spec import WorkloadSpec
 EPAXOS_CHECK_NAMES = ("linearizability", "log_invariants", "epaxos_invariants")
 
 
+#: Check-family names every Paxos/PigPaxos scenario enables.
+PAXOS_CHECK_NAMES = ("linearizability", "log_invariants")
+
+
 def _scenarios() -> List[Scenario]:
+    # Every scenario declares its checks explicitly and holds a min_completed
+    # liveness floor (enforced statically by the scenario-hygiene lint rule).
+    # Floors are calibrated at roughly one third of the seed's observed
+    # completion count, so a "safe but stuck" regression trips the progress
+    # check long before it halves throughput, while scheduler-level noise
+    # from legitimate changes never does.
     return [
         Scenario(
             name="pig-baseline-5",
@@ -59,6 +69,8 @@ def _scenarios() -> List[Scenario]:
             num_clients=4,
             duration=1.5,
             seed=11,
+            checks=PAXOS_CHECK_NAMES + ("progress",),
+            min_completed=1150,  # seed completes 3457
             description="Fault-free 5-node PigPaxos, 2 relay groups (Fig. 10 shape).",
         ),
         Scenario(
@@ -68,6 +80,8 @@ def _scenarios() -> List[Scenario]:
             num_clients=4,
             duration=1.5,
             seed=11,
+            checks=PAXOS_CHECK_NAMES + ("progress",),
+            min_completed=1650,  # seed completes 4995
             description="Fault-free 5-node Multi-Paxos control run.",
         ),
         Scenario(
@@ -78,6 +92,8 @@ def _scenarios() -> List[Scenario]:
             num_clients=6,
             duration=0.8,
             seed=7,
+            checks=PAXOS_CHECK_NAMES + ("progress",),
+            min_completed=750,  # seed completes 2281
             description="Paper-style 25-node cluster, 3 relay groups (Fig. 7/8 shape).",
         ),
         Scenario(
@@ -90,6 +106,8 @@ def _scenarios() -> List[Scenario]:
             duration=2.5,
             seed=3,
             client_timeout=1.0,
+            checks=PAXOS_CHECK_NAMES + ("progress",),
+            min_completed=75,  # seed completes 228
             description="Nine nodes over three WAN regions, one relay group per region (Fig. 9).",
         ),
         Scenario(
@@ -101,6 +119,8 @@ def _scenarios() -> List[Scenario]:
             duration=2.0,
             seed=5,
             client_timeout=0.5,
+            checks=PAXOS_CHECK_NAMES + ("progress",),
+            min_completed=1450,  # seed completes 4434
             events=(
                 E.crash(0.5, node=3),
                 E.recover(1.3, node=3),
@@ -116,6 +136,8 @@ def _scenarios() -> List[Scenario]:
             duration=3.0,
             seed=13,
             client_timeout=0.4,
+            checks=PAXOS_CHECK_NAMES + ("progress",),
+            min_completed=1650,  # seed completes 5086
             events=(
                 E.crash_leader(0.6),
                 E.recover_all(2.0),
@@ -131,6 +153,8 @@ def _scenarios() -> List[Scenario]:
             duration=2.0,
             seed=17,
             client_timeout=0.5,
+            checks=PAXOS_CHECK_NAMES + ("progress",),
+            min_completed=850,  # seed completes 2604
             events=(
                 E.partition(0.5, (0, 1, 2), (3, 4)),
                 E.heal_partition(1.3),
@@ -146,6 +170,8 @@ def _scenarios() -> List[Scenario]:
             duration=3.0,
             seed=19,
             client_timeout=0.4,
+            checks=PAXOS_CHECK_NAMES + ("progress",),
+            min_completed=1100,  # seed completes 3320
             events=(
                 E.partition(0.5, (0, 1), (2, 3, 4)),
                 E.heal_partition(1.8),
@@ -161,6 +187,8 @@ def _scenarios() -> List[Scenario]:
             duration=2.0,
             seed=23,
             client_timeout=0.5,
+            checks=PAXOS_CHECK_NAMES + ("progress",),
+            min_completed=640,  # seed completes 1920
             config_overrides={"relay_timeout": 0.02},
             events=(
                 E.set_drop(0.4, probability=0.25),
@@ -176,6 +204,8 @@ def _scenarios() -> List[Scenario]:
             num_clients=4,
             duration=1.8,
             seed=29,
+            checks=PAXOS_CHECK_NAMES + ("progress",),
+            min_completed=1300,  # seed completes 3943
             config_overrides={"group_response_threshold": 0.75},
             events=tuple(
                 E.reshuffle_relays(round(0.2 * step, 3)) for step in range(1, 8)
@@ -192,6 +222,8 @@ def _scenarios() -> List[Scenario]:
             seed=31,
             client_timeout=0.5,
             drop_probability=0.05,
+            checks=PAXOS_CHECK_NAMES + ("progress",),
+            min_completed=25,  # seed completes 87 under sustained 5% loss
             description="Every message faces 5% loss for the whole run.",
         ),
         # ------------------------------------------------------------ EPaxos
@@ -202,7 +234,8 @@ def _scenarios() -> List[Scenario]:
             num_clients=4,
             duration=1.5,
             seed=11,
-            checks=EPAXOS_CHECK_NAMES,
+            checks=EPAXOS_CHECK_NAMES + ("progress",),
+            min_completed=600,  # seed completes 1852
             description="Fault-free 5-node EPaxos control run, every client a leader.",
         ),
         Scenario(
@@ -213,7 +246,8 @@ def _scenarios() -> List[Scenario]:
             duration=1.5,
             seed=37,
             workload=WorkloadSpec.checking_default(num_keys=3),
-            checks=EPAXOS_CHECK_NAMES,
+            checks=EPAXOS_CHECK_NAMES + ("progress",),
+            min_completed=650,  # seed completes 1984
             description="Three hot keys, six leaders: maximal conflict rate and dependency churn.",
         ),
         Scenario(
@@ -224,7 +258,8 @@ def _scenarios() -> List[Scenario]:
             duration=2.0,
             seed=41,
             client_timeout=0.4,
-            checks=EPAXOS_CHECK_NAMES,
+            checks=EPAXOS_CHECK_NAMES + ("progress",),
+            min_completed=290,  # seed completes 877
             events=(
                 E.set_drop(0.4, probability=0.25),
                 E.set_drop(1.2, probability=0.0),
@@ -317,7 +352,10 @@ def _scenarios() -> List[Scenario]:
             duration=2.0,
             seed=43,
             client_timeout=0.4,
-            checks=EPAXOS_CHECK_NAMES,
+            checks=EPAXOS_CHECK_NAMES + ("progress",),
+            # Degraded mode still commits plenty off the unblocked keys; the
+            # floor is a third of the observed 639.
+            min_completed=210,
             # Recovery is on by default everywhere else; this scenario pins
             # it off deliberately -- the degraded-mode control proving that
             # orphaned instances block liveness but never safety.
@@ -355,7 +393,8 @@ def _scenarios() -> List[Scenario]:
             duration=2.2,
             seed=47,
             client_timeout=0.4,
-            checks=EPAXOS_CHECK_NAMES,
+            checks=EPAXOS_CHECK_NAMES + ("progress",),
+            min_completed=195,  # seed completes 595
             events=(
                 E.partition(0.5, (0, 1, 2), (3, 4)),
                 E.heal_partition(1.4),
@@ -372,7 +411,8 @@ def _scenarios() -> List[Scenario]:
             duration=2.5,
             seed=61,
             client_timeout=1.0,
-            checks=EPAXOS_CHECK_NAMES,
+            checks=EPAXOS_CHECK_NAMES + ("progress",),
+            min_completed=115,  # seed completes 351
             config_overrides={
                 "overlay": {"kind": "relay", "use_region_groups": True}
             },
@@ -386,7 +426,8 @@ def _scenarios() -> List[Scenario]:
             duration=2.0,
             seed=67,
             client_timeout=0.5,
-            checks=EPAXOS_CHECK_NAMES,
+            checks=EPAXOS_CHECK_NAMES + ("progress",),
+            min_completed=165,  # seed completes 504
             config_overrides={
                 "overlay": {"kind": "relay", "num_groups": 3, "relay_timeout": 0.02}
             },
@@ -442,6 +483,8 @@ def _scenarios() -> List[Scenario]:
             num_clients=6,
             duration=1.0,
             seed=7,
+            checks=PAXOS_CHECK_NAMES + ("progress",),
+            min_completed=740,  # seed completes 2225
             description="Paper-scale 25-node Multi-Paxos control run (Fig. 8 baseline): the leader touches 2(N-1) messages per op.",
         ),
         Scenario(
@@ -519,7 +562,8 @@ def _scenarios() -> List[Scenario]:
             duration=1.8,
             seed=53,
             workload=WorkloadSpec.checking_default(num_keys=4),
-            checks=EPAXOS_CHECK_NAMES,
+            checks=EPAXOS_CHECK_NAMES + ("progress",),
+            min_completed=570,  # seed completes 1716
             events=(
                 E.duplicate_storm(0.2, probability=0.35),
                 E.duplicate_storm(1.4, probability=0.0),

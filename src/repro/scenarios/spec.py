@@ -47,7 +47,7 @@ Example -- a complete scenario, runnable as-is::
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, Mapping, Optional, Sequence, Tuple
+from typing import Mapping, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 from repro.workload.spec import WorkloadSpec

@@ -9,7 +9,7 @@ one-second windows).
 from __future__ import annotations
 
 import math
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 
 class Counter:
@@ -257,14 +257,14 @@ def node_traffic(counters: Dict[str, float]) -> Dict[int, Dict[str, float]]:
     counters recorded by :class:`repro.cluster.node.SimNode`.
     """
     traffic: Dict[int, Dict[str, float]] = {}
-    for name, value in counters.items():
+    for name, value in sorted(counters.items()):
         if not name.startswith("node."):
             continue
         _, node_id_text, field = name.split(".", 2)
         if field not in TRAFFIC_FIELDS:
             continue
         traffic.setdefault(int(node_id_text), dict.fromkeys(TRAFFIC_FIELDS, 0.0))[field] = value
-    for stats in traffic.values():
+    for stats in traffic.values():  # lint: ok(no-unordered-iteration) independent per-node in-place update; no cross-node state
         stats["messages_total"] = stats["messages_in"] + stats["messages_out"]
         stats["bytes_total"] = stats["bytes_in"] + stats["bytes_out"]
     return traffic
@@ -287,7 +287,7 @@ def bottleneck_node(counters: Dict[str, float]) -> Tuple[Optional[int], Dict[str
 def sent_by_kind(counters: Dict[str, float]) -> Dict[str, Dict[str, float]]:
     """Per-message-type ``{kind: {count, bytes}}`` from a counter dump."""
     by_kind: Dict[str, Dict[str, float]] = {}
-    for name, value in counters.items():
+    for name, value in sorted(counters.items()):
         if name.startswith("net.sent_bytes."):
             kind = name[len("net.sent_bytes."):]
             by_kind.setdefault(kind, {"count": 0.0, "bytes": 0.0})["bytes"] = value

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
-from repro.statemachine.command import Command, CommandResult, NoOp, OpType
+from repro.statemachine.command import CommandResult, NoOp, OpType
 
 
 class KVStore:

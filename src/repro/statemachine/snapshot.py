@@ -25,6 +25,7 @@ class Snapshot:
     def capture(cls, store: KVStore, last_executed_slot: int) -> "Snapshot":
         return cls(
             last_executed_slot=last_executed_slot,
+            # lint: ok(no-unordered-iteration) KVStore.items() returns a dict copy; nothing iterates here
             data=store.items(),
             applied_count=store.applied_count,
         )

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import random
-from typing import Optional
 
 from repro.statemachine.command import Command, OpType
 from repro.workload.distributions import KeyDistribution, make_distribution

@@ -9,8 +9,7 @@ write-only payload sweep of Figure 12.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Optional
+from dataclasses import dataclass, replace
 
 from repro.errors import WorkloadError
 

@@ -13,7 +13,6 @@ from repro.bench.sweeps import latency_throughput_sweep, max_throughput
 from repro.bench.timeseries import steady_state_rate, throughput_timeseries
 from repro.cluster.faults import FaultSchedule
 from repro.errors import BenchmarkError
-from repro.workload.spec import WorkloadSpec
 
 
 def _result(throughput: float, latency: float = 0.002, clients: int = 10) -> RunResult:

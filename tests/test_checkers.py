@@ -6,7 +6,6 @@ from __future__ import annotations
 
 from types import SimpleNamespace
 
-import pytest
 
 from repro.checkers.history import History, HistoryRecorder, Operation
 from repro.checkers.invariants import (

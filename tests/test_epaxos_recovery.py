@@ -16,8 +16,9 @@ Covers, on hand-built replica states (FakeContext, no simulator):
 
 from __future__ import annotations
 
-import pytest
 from types import SimpleNamespace
+
+import pytest
 
 from helpers import FakeContext
 from repro.checkers.invariants import (
@@ -392,7 +393,7 @@ class TestDecisionTable:
 
     def test_preempted_recovery_retries_with_higher_ballot(self):
         replica, ctx = _replica(node_id=0, recovery_timeout=0.3)
-        ballot = _block_and_trip_deadline(replica, ctx)
+        _block_and_trip_deadline(replica, ctx)
         nack = _prepare_reply((4, 1), 1, status="preaccepted", command=None,
                               ballot=(5, 3), ok=False)
         replica._on_prepare_reply(1, nack)
@@ -489,7 +490,6 @@ class TestRelayCommitFallback:
         timer.fire()
         resent = ctx.sent_of_type(ECommit)
         assert resent, "silent relay's subtree must get the commit directly"
-        dead_subtree = {dead} | {1, 2, 3, 4} - {alive}
         targets = {dst for dst, _ in resent}
         assert dead in targets
         assert alive not in targets

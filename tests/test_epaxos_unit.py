@@ -2,10 +2,7 @@
 
 from __future__ import annotations
 
-import pytest
-
 from helpers import FakeContext
-
 from repro.epaxos.graph import DependencyGraph
 from repro.epaxos.messages import (
     EAccept,

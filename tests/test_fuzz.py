@@ -25,8 +25,8 @@ import pytest
 from repro.errors import ConfigurationError
 from repro.fuzz import (
     DEFAULT_PROFILE,
-    FuzzProfile,
     MUTATIONS,
+    FuzzProfile,
     apply_mutation,
     generate_scenario,
     run_fleet,

@@ -8,7 +8,6 @@ leader failure triggers a new election while the log stays consistent.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.cluster.builder import build_cluster
 from repro.cluster.faults import FaultSchedule

@@ -11,8 +11,8 @@ from __future__ import annotations
 import pytest
 
 from repro.cluster.builder import build_cluster
-from repro.core.config import PigPaxosConfig
 from repro.cluster.topologies import wan_topology
+from repro.core.config import PigPaxosConfig
 from repro.workload.spec import WorkloadSpec
 
 

@@ -9,11 +9,11 @@ import pytest
 from repro.errors import ConfigurationError, NetworkError
 from repro.net.faults import NetworkFaults
 from repro.net.latency import (
+    DEFAULT_WAN_MATRIX,
     ConstantLatency,
     NormalLatency,
     UniformLatency,
     WANMatrixLatency,
-    DEFAULT_WAN_MATRIX,
 )
 from repro.net.message import Envelope, Message
 from repro.net.network import SimNetwork

@@ -13,7 +13,6 @@ from __future__ import annotations
 import pytest
 
 from helpers import FakeContext
-
 from repro.cluster.builder import ClusterBuilder, build_cluster
 from repro.epaxos.messages import ECommit, EPreAccept, EPreAcceptReply
 from repro.epaxos.replica import EPaxosReplica

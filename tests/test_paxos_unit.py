@@ -2,10 +2,7 @@
 
 from __future__ import annotations
 
-import pytest
-
 from helpers import FakeContext
-
 from repro.paxos.replica import MultiPaxosReplica
 from repro.protocol.ballot import Ballot
 from repro.protocol.config import ProtocolConfig

@@ -2,10 +2,7 @@
 
 from __future__ import annotations
 
-import pytest
-
 from helpers import FakeContext
-
 from repro.core.config import PigPaxosConfig
 from repro.core.messages import PigAggregate, PigRelayRequest, RelaySubtree
 from repro.core.replica import PigPaxosReplica

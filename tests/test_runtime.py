@@ -9,7 +9,7 @@ import pytest
 from repro.errors import RuntimeTransportError
 from repro.protocol.ballot import Ballot
 from repro.protocol.messages import ClientRequest, P2a
-from repro.runtime.codec import MAX_FRAME_BYTES, PickleCodec, frame, read_frame
+from repro.runtime.codec import MAX_FRAME_BYTES, PickleCodec, frame
 from repro.runtime.harness import LocalCluster
 from repro.statemachine.command import Command, OpType
 

@@ -6,7 +6,7 @@ import pytest
 
 from repro.errors import SimulationError
 from repro.sim.engine import Simulator
-from repro.sim.events import Event, EventQueue
+from repro.sim.events import EventQueue
 
 
 class TestEventQueue:
