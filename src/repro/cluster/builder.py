@@ -8,12 +8,12 @@ closed-loop benchmark clients and an optional fault schedule.  The returned
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence
 
 from repro.cluster.cpu import NodeCPUModel
 from repro.cluster.faults import FaultKind, FaultSchedule
-from repro.cluster.node import SimNode
+from repro.cluster.node import ShardReplicaHost, SimNode
 from repro.cluster.topologies import lan_topology
 from repro.core.config import PigPaxosConfig
 from repro.core.replica import PigPaxosReplica
@@ -26,6 +26,13 @@ from repro.net.topology import Topology
 from repro.overlay.config import OverlayConfig, build_overlay
 from repro.paxos.replica import MultiPaxosReplica
 from repro.protocol.config import DEFAULT_RECOVERY_TIMEOUT, ProtocolConfig
+from repro.shard.addressing import (
+    SHARD_ENDPOINT_STRIDE,
+    ShardAwareLatency,
+    physical_node,
+    shard_endpoint,
+)
+from repro.shard.router import ShardMap, ShardRouter, round_robin_leaders
 from repro.sim.engine import Simulator
 from repro.workload.client import ClosedLoopClient
 from repro.workload.spec import WorkloadSpec
@@ -34,6 +41,39 @@ from repro.workload.spec import WorkloadSpec
 CLIENT_ID_BASE = 1000
 
 PROTOCOLS = ("paxos", "pigpaxos", "epaxos")
+
+
+class ShardGroupView:
+    """One shard's consensus group, viewed as a mini-cluster for the checkers.
+
+    Exposes exactly the surface the invariant checkers consume from
+    :class:`Cluster`: a ``nodes`` mapping (insertion-ordered by ascending
+    member endpoint id) whose values carry ``.replica`` and ``.crashed``,
+    plus :meth:`committed_prefixes`.  Each shard's group is checked in
+    isolation -- cross-shard consistency is the per-key linearizability
+    checker's job, which needs no adapter because keys never span shards.
+    """
+
+    def __init__(self, shard: int, nodes: Dict[int, object]) -> None:
+        self.shard = shard
+        self.nodes = nodes
+
+    def committed_prefixes(self) -> Dict[int, List[Optional[int]]]:
+        prefixes: Dict[int, List[Optional[int]]] = {}
+        # lint: ok(no-unordered-iteration) nodes insertion order is ascending member endpoint id (built from sorted topology.node_ids)
+        for node_id, node in self.nodes.items():
+            log = getattr(node.replica, "log", None)
+            if log is not None:
+                prefixes[node_id] = log.committed_prefix_uids()
+        return prefixes
+
+    def leader_id(self) -> Optional[int]:
+        """Endpoint id of this group's current leader (Paxos family)."""
+        # lint: ok(no-unordered-iteration) first match must be the lowest member endpoint id; insertion order is ascending
+        for node_id, node in self.nodes.items():
+            if getattr(node.replica, "is_leader", False) and not node.crashed:
+                return node_id
+        return None
 
 
 class Cluster:
@@ -49,6 +89,9 @@ class Cluster:
         clients: List[ClosedLoopClient],
         fault_schedule: Optional[FaultSchedule] = None,
         history_recorder=None,
+        num_shards: int = 1,
+        shard_instances: Optional[List[ShardReplicaHost]] = None,
+        router: Optional[ShardRouter] = None,
     ) -> None:
         self.protocol = protocol
         self.sim = sim
@@ -58,6 +101,12 @@ class Cluster:
         self.clients = clients
         self.fault_schedule = fault_schedule
         self.history_recorder = history_recorder
+        self.num_shards = num_shards
+        #: Shard >= 1 replica instances, ordered shard-major then by host
+        #: node id.  Empty for unsharded clusters (shard 0 lives on the
+        #: SimNodes themselves).
+        self.shard_instances: List[ShardReplicaHost] = shard_instances or []
+        self.router = router
         self._started = False
 
     # ------------------------------------------------------------------ running
@@ -69,6 +118,8 @@ class Cluster:
         # lint: ok(no-unordered-iteration) nodes is built iterating topology.node_ids (sorted); insertion order IS ascending node-id start order
         for node in self.nodes.values():
             node.start()
+        for instance in self.shard_instances:
+            instance.start()
         for client in self.clients:
             client.start()
         if self.fault_schedule is not None:
@@ -114,12 +165,50 @@ class Cluster:
         return {node_id: node.replica for node_id, node in self.nodes.items()}
 
     def leader_id(self) -> Optional[int]:
-        """The id of the node currently acting as leader (Paxos/PigPaxos)."""
+        """The id of the node currently acting as leader (Paxos/PigPaxos).
+
+        In a sharded cluster this is shard 0's leader -- the group hosted
+        directly on the physical nodes; use :meth:`shard_views` (or
+        :meth:`shard_leader_endpoint`) for the other groups.
+        """
         # lint: ok(no-unordered-iteration) first match must be the lowest node id; insertion order is ascending node id
         for node_id, node in self.nodes.items():
             if getattr(node.replica, "is_leader", False) and not node.crashed:
                 return node_id
         return None
+
+    # ------------------------------------------------------------------ shards
+    def shard_views(self) -> List[ShardGroupView]:
+        """One checker-facing :class:`ShardGroupView` per consensus group."""
+        views = [ShardGroupView(0, dict(self.nodes))]
+        for shard in range(1, self.num_shards):
+            members = {
+                instance.endpoint_id: instance
+                for instance in self.shard_instances
+                if instance.shard == shard
+            }
+            views.append(ShardGroupView(shard, members))
+        return views
+
+    def shard_leader_endpoint(self, shard: int) -> Optional[int]:
+        """The endpoint id of ``shard``'s current leader (Paxos family)."""
+        if not 0 <= shard < self.num_shards:
+            raise ConfigurationError(
+                f"shard must be in [0, {self.num_shards}), got {shard}"
+            )
+        return self.shard_views()[shard].leader_id()
+
+    def all_replica_hosts(self) -> List[object]:
+        """Every replica-hosting endpoint, shard 0 (physical nodes) first.
+
+        Order is deterministic: ascending node id, then shard instances
+        shard-major by host node id.  Identical to ``nodes.values()`` for
+        unsharded clusters.
+        """
+        # lint: ok(no-unordered-iteration) nodes insertion order is ascending node id (built from sorted topology.node_ids)
+        hosts: List[object] = list(self.nodes.values())
+        hosts.extend(self.shard_instances)
+        return hosts
 
     def committed_prefixes(self) -> Dict[int, List[Optional[int]]]:
         """Gap-free committed command uids per replica (agreement checks)."""
@@ -180,6 +269,7 @@ class ClusterBuilder:
     _drop_probability: float = 0.0
     _size_model: SizeModel = field(default_factory=SizeModel)
     _history_recorder: Optional[object] = None
+    _num_shards: int = 1
 
     # ------------------------------------------------------------------ fluent setters
     def protocol(self, name: str) -> "ClusterBuilder":
@@ -260,19 +350,46 @@ class ClusterBuilder:
         self._client_timeout = timeout
         return self
 
+    def shards(self, count: int) -> "ClusterBuilder":
+        """Split the keyspace across ``count`` independent consensus groups.
+
+        Every physical node hosts one replica per group; group leaders are
+        spread round-robin across the nodes and clients route each command
+        by its key (see :mod:`repro.shard`).  ``1`` (the default) is the
+        unsharded deployment, byte-identical to the historical behaviour.
+        """
+        if count < 1:
+            raise ConfigurationError(f"shards must be >= 1, got {count}")
+        self._num_shards = count
+        return self
+
     # ------------------------------------------------------------------ build
     def build(self) -> Cluster:
         topology = self._topology or lan_topology(self._num_nodes)
+        num_shards = self._num_shards
+        if num_shards > 1:
+            self._validate_sharding(topology)
         sim = Simulator(seed=self._seed)
+        faults = NetworkFaults(drop_probability=self._drop_probability)
+        latency_override = None
+        if num_shards > 1:
+            # Faults and latency are properties of the physical fabric:
+            # fold every shard endpoint onto its host node before link,
+            # partition and delay decisions.
+            faults.endpoint_key = physical_node
+            latency_override = ShardAwareLatency(topology.latency)
         network = SimNetwork(
             sim,
             topology,
             size_model=self._size_model,
-            faults=NetworkFaults(drop_probability=self._drop_probability),
+            faults=faults,
+            latency_model=latency_override,
         )
 
+        node_ids = list(topology.node_ids)
+        leaders = round_robin_leaders(num_shards, node_ids) if num_shards > 1 else None
         nodes: Dict[int, SimNode] = {}
-        for node_id in topology.node_ids:
+        for node_id in node_ids:
             node = SimNode(
                 node_id=node_id,
                 sim=sim,
@@ -280,8 +397,41 @@ class ClusterBuilder:
                 cpu=self._cpu_model,
                 all_nodes=topology.node_ids,
             )
-            node.host(self._make_replica(topology))
+            if leaders is None:
+                node.host(self._make_replica(topology))
+            else:
+                node.host(self._make_replica(topology, initial_leader=leaders[0]))
             nodes[node_id] = node
+
+        shard_instances: List[ShardReplicaHost] = []
+        router: Optional[ShardRouter] = None
+        if num_shards > 1:
+            region_map = topology.region_map()
+            groups: List[Sequence[int]] = [tuple(node_ids)]
+            for shard in range(1, num_shards):
+                members = tuple(shard_endpoint(shard, n) for n in node_ids)
+                shard_regions = {
+                    shard_endpoint(shard, n): region_map[n]
+                    for n in node_ids
+                    if n in region_map
+                }
+                for node_id in node_ids:
+                    instance = ShardReplicaHost(
+                        host=nodes[node_id], shard=shard, all_nodes=members
+                    )
+                    instance.host_replica(
+                        self._make_replica(
+                            topology,
+                            initial_leader=leaders[shard],
+                            region_of=shard_regions,
+                        )
+                    )
+                    nodes[node_id].add_shard_sibling(instance)
+                    shard_instances.append(instance)
+                groups.append(members)
+            router = ShardRouter(
+                ShardMap(num_shards, self._workload.num_keys), groups, leaders
+            )
 
         target_policy = "random" if self._protocol == "epaxos" else "leader"
         clients: List[ClosedLoopClient] = []
@@ -296,6 +446,7 @@ class ClusterBuilder:
                 request_timeout=self._client_timeout,
                 start_time=self._client_start_time,
                 recorder=self._history_recorder,
+                router=router,
             )
             clients.append(client)
 
@@ -308,7 +459,61 @@ class ClusterBuilder:
             clients=clients,
             fault_schedule=self._fault_schedule,
             history_recorder=self._history_recorder,
+            num_shards=num_shards,
+            shard_instances=shard_instances,
+            router=router,
         )
+
+    def _validate_sharding(self, topology: Topology) -> None:
+        """Reject builder settings that cannot host multiple shards.
+
+        The compatibility contract for ``shards > 1``:
+
+        * Key-range routing needs at least one key per shard.
+        * Shard endpoint ids are ``shard * SHARD_ENDPOINT_STRIDE + node``,
+          so node ids must sit below the stride.
+        * Leader placement is per-group round-robin, so an explicit
+          ``initial_leader`` override is contradictory and refused.
+        * Relay overlays (PigPaxos and the relay/thrifty overlay configs)
+          are *supported* -- each shard instance gets its own overlay with a
+          shard-qualified region map -- but an explicitly requested
+          ``relay_groups`` may not exceed ``num_nodes - 1``, since every
+          group needs at least one follower.
+        """
+        node_ids = list(topology.node_ids)
+        if self._num_shards > self._workload.num_keys:
+            raise ConfigurationError(
+                f"cannot split {self._workload.num_keys} keys across "
+                f"{self._num_shards} shards; shards must be <= workload num_keys"
+            )
+        if min(node_ids) < 0 or max(node_ids) >= SHARD_ENDPOINT_STRIDE:
+            raise ConfigurationError(
+                f"sharding requires node ids in [0, {SHARD_ENDPOINT_STRIDE}); "
+                f"got range [{min(node_ids)}, {max(node_ids)}]"
+            )
+        config = self._protocol_config
+        if (
+            config is not None
+            and self._protocol != "epaxos"
+            and config.initial_leader not in (None, 0)
+        ):
+            raise ConfigurationError(
+                "initial_leader cannot be combined with shards > 1: leader "
+                "placement is per-group round-robin across the node set"
+            )
+        # Only the *explicit* builder-level request is rejected here: a
+        # config-level count (PigPaxosConfig.num_relay_groups, overlay
+        # num_groups) may simply be the dataclass default, and the overlay
+        # planner clamps it to the follower count exactly as it does on
+        # unsharded clusters -- sharding must not be stricter than the
+        # machinery it multiplies.
+        relay_groups = self._num_relay_groups
+        if relay_groups is not None and relay_groups > len(node_ids) - 1:
+            raise ConfigurationError(
+                f"relay_groups={relay_groups} needs at least one follower per "
+                f"group, but a sharded group on {len(node_ids)} nodes has only "
+                f"{len(node_ids) - 1} followers"
+            )
 
     def _resolve_overlay_config(self, config: Optional[ProtocolConfig]) -> Optional[OverlayConfig]:
         """Builder-level overlay choice wins over ProtocolConfig.overlay."""
@@ -318,7 +523,21 @@ class ClusterBuilder:
             return config.overlay
         return None
 
-    def _make_replica(self, topology: Topology):
+    def _make_replica(
+        self,
+        topology: Topology,
+        initial_leader: Optional[int] = None,
+        region_of: Optional[Dict[int, str]] = None,
+    ):
+        """Construct one replica instance.
+
+        ``initial_leader`` and ``region_of`` are the sharding hooks: a
+        sharded build passes each group's round-robin leader endpoint and a
+        region map re-keyed to the group's endpoint ids.  ``None`` (the
+        unsharded path) preserves the historical behaviour exactly,
+        including the shared-config-object semantics.
+        """
+        regions = region_of if region_of is not None else topology.region_map()
         if self._protocol == "paxos":
             config = self._protocol_config or ProtocolConfig()
             overlay_config = self._resolve_overlay_config(config)
@@ -338,6 +557,8 @@ class ClusterBuilder:
                     "knobs (PigPaxos has its own leader retry); plain paxos "
                     "would silently ignore them"
                 )
+            if initial_leader is not None:
+                config = replace(config, initial_leader=initial_leader)
             overlay = build_overlay(overlay_config)
             return MultiPaxosReplica(config=config, overlay=overlay)
         if self._protocol == "pigpaxos":
@@ -354,11 +575,16 @@ class ClusterBuilder:
                 config.num_relay_groups = self._num_relay_groups
             if self._use_region_groups:
                 config.use_region_groups = True
-            return PigPaxosReplica(config=config, region_of=topology.region_map())
+            if initial_leader is not None:
+                config = replace(config, initial_leader=initial_leader)
+            return PigPaxosReplica(config=config, region_of=regions)
         if self._protocol == "epaxos":
+            # EPaxos is leaderless: ``initial_leader`` is deliberately
+            # ignored (sharded groups balance through the clients'
+            # random-target policy instead).
             config = self._protocol_config
             overlay_config = self._resolve_overlay_config(config)
-            overlay = build_overlay(overlay_config, region_of=topology.region_map())
+            overlay = build_overlay(overlay_config, region_of=regions)
             if config is None:
                 return EPaxosReplica(overlay=overlay)
             # EPaxos consumes only the shared session_window, overlay,
@@ -397,9 +623,12 @@ def build_cluster(
     fault_schedule: Optional[FaultSchedule] = None,
     use_region_groups: bool = False,
     overlay=None,
+    shards: int = 1,
 ) -> Cluster:
     """One-call convenience wrapper around :class:`ClusterBuilder`."""
     builder = ClusterBuilder().protocol(protocol).nodes(num_nodes).clients(num_clients).seed(seed)
+    if shards != 1:
+        builder.shards(shards)
     if relay_groups is not None:
         builder.relay_groups(relay_groups)
     if overlay is not None:

@@ -24,6 +24,7 @@ from repro.net.network import SimNetwork
 from repro.net.transport import SimTransport
 from repro.protocol.base import Replica, TimerLike
 from repro.protocol.messages import ClientRequest
+from repro.shard.addressing import SHARD_ENDPOINT_STRIDE
 from repro.sim.engine import Simulator
 from repro.sim.metrics import MetricsRegistry
 
@@ -68,6 +69,9 @@ class SimNode:
         self._messages_out = sim.metrics.counter(f"node.{node_id}.messages_out")
         self._bytes_in = sim.metrics.counter(f"node.{node_id}.bytes_in")
         self._bytes_out = sim.metrics.counter(f"node.{node_id}.bytes_out")
+        # Replica instances for shards >= 1 co-hosted on this machine
+        # (sharded deployments only; empty and untouched otherwise).
+        self._shard_siblings: List["ShardReplicaHost"] = []
 
         network.register(self)
 
@@ -83,6 +87,14 @@ class SimNode:
         if self._replica is None:
             raise RuntimeError(f"node {self.endpoint_id} has no replica attached")
         return self._replica
+
+    def add_shard_sibling(self, sibling: "ShardReplicaHost") -> None:
+        """Track a co-hosted shard instance so faults propagate to it."""
+        self._shard_siblings.append(sibling)
+
+    @property
+    def shard_siblings(self) -> Sequence["ShardReplicaHost"]:
+        return self._shard_siblings
 
     def start(self) -> None:
         self.replica.start()
@@ -240,13 +252,21 @@ class SimNode:
         return self._crashed
 
     def crash(self) -> None:
-        """Silently stop processing and emitting messages (paper's crash model)."""
+        """Silently stop processing and emitting messages (paper's crash model).
+
+        A machine crash takes down *every* replica instance it hosts: the
+        shard siblings share this node's ``_crashed`` flag (their reachability
+        and guards read it), so only their replica-level crash hooks need
+        explicit propagation.
+        """
         if self._crashed:
             return
         self._crashed = True
         self.metrics.counter("faults.crashes").increment()
         if self._replica is not None:
             self._replica.on_crash()
+        for sibling in self._shard_siblings:
+            sibling.replica.on_crash()
 
     def recover(self) -> None:
         if not self._crashed:
@@ -256,6 +276,8 @@ class SimNode:
         self.metrics.counter("faults.recoveries").increment()
         if self._replica is not None:
             self._replica.on_recover()
+        for sibling in self._shard_siblings:
+            sibling.replica.on_recover()
 
     def set_sluggish(self, factor: float) -> None:
         """Make the node's CPU ``factor`` times slower (1.0 restores normal speed)."""
@@ -267,3 +289,139 @@ class SimNode:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "crashed" if self._crashed else "up"
         return f"SimNode({self.endpoint_id}, {state})"
+
+
+class ShardReplicaHost:
+    """One shard's replica instance co-hosted on an existing :class:`SimNode`.
+
+    In a sharded deployment every physical node runs one replica *per
+    consensus group*.  Shard 0's replica is hosted directly by the
+    ``SimNode`` (that path is literally the unsharded deployment); shards
+    >= 1 get one of these per node.  The host is a full network
+    :class:`~repro.net.network.Endpoint` and
+    :class:`~repro.protocol.base.NodeContext` registered under the shard's
+    endpoint id (``shard * SHARD_ENDPOINT_STRIDE + node_id``), but it owns
+    **no CPU of its own**: every receive/send/execute reserves time on the
+    *physical* node's single-server queue, so co-hosted groups contend for
+    the machine exactly like co-located processes would -- the contention
+    the multi-group scaling curve has to respect to be honest.
+
+    Fault coupling follows from the same principle: crashed/sluggish state
+    lives on the host node (a machine crash takes down all its groups), and
+    the per-node traffic counters (``node.<id>.messages_*``) aggregate
+    every hosted instance so ``bottleneck_node`` stays a statement about
+    physical machines.  Only the RNG stream (``node-<endpoint_id>``) and
+    the replica's protocol state are per-shard.
+    """
+
+    def __init__(self, host: SimNode, shard: int, all_nodes: Sequence[int]) -> None:
+        self.shard = shard
+        self.endpoint_id = shard * SHARD_ENDPOINT_STRIDE + host.endpoint_id
+        self._host = host
+        self._sim = host._sim
+        self._network = host._network
+        self._all_nodes: List[int] = list(all_nodes)
+        self._replica: Optional[Replica] = None
+        self._replica_on_message: Optional[Callable[[int, Any], None]] = None
+        self._rng = self._sim.random.stream(f"node-{self.endpoint_id}")
+        self._network.register(self)
+
+    # ------------------------------------------------------------------ wiring
+    def host_replica(self, replica: Replica) -> None:
+        self._replica = replica
+        self._replica_on_message = replica.on_message
+        replica.bind(self)
+
+    @property
+    def replica(self) -> Replica:
+        if self._replica is None:
+            raise RuntimeError(f"shard host {self.endpoint_id} has no replica attached")
+        return self._replica
+
+    @property
+    def host_node(self) -> SimNode:
+        return self._host
+
+    def start(self) -> None:
+        self.replica.start()
+
+    # ------------------------------------------------------------------ NodeContext API
+    @property
+    def node_id(self) -> int:
+        return self.endpoint_id
+
+    @property
+    def all_nodes(self) -> Sequence[int]:
+        return self._all_nodes
+
+    @property
+    def now(self) -> float:
+        return self._sim._now
+
+    @property
+    def rng(self) -> random.Random:
+        return self._rng
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        return self._sim.metrics
+
+    def send(self, dst: int, message: Any) -> None:
+        host = self._host
+        if host._crashed:
+            return
+        size = self._network.size_model.size_of(message)
+        ready_at = host._reserve(host.cpu.send_cost(size))
+        host._messages_out.value += 1
+        host._bytes_out.value += size
+        self._sim.post_at(ready_at, self._network.send, (self.endpoint_id, dst, message, size))
+
+    def schedule(self, delay: float, callback: Callable[..., Any], *args: Any) -> TimerLike:
+        return self._sim.schedule(delay, self._guarded, callback, args)
+
+    def _guarded(self, callback: Callable[..., Any], args: tuple) -> None:
+        if self._host._crashed:
+            return
+        callback(*args)
+
+    def charge_execution(self, commands: int = 1) -> None:
+        self._host.charge_execution(commands)
+
+    def charge_graph_work(self, vertices: int) -> None:
+        self._host.charge_graph_work(vertices)
+
+    def charge_overhead(self, units: float = 1.0) -> None:
+        self._host.charge_overhead(units)
+
+    def charge_seconds(self, seconds: float) -> None:
+        self._host.charge_seconds(seconds)
+
+    # ------------------------------------------------------------------ Endpoint API
+    def is_reachable(self) -> bool:
+        return not self._host._crashed
+
+    def deliver(self, envelope: Envelope) -> None:
+        host = self._host
+        if host._crashed:
+            return
+        size = envelope.size_bytes
+        ready_at = host._reserve(
+            host.cpu.receive_cost(size, type(envelope.message) is ClientRequest)
+        )
+        host._messages_in.value += 1
+        host._bytes_in.value += size
+        self._sim.post_at(ready_at, self._handle, (envelope,))
+
+    def _handle(self, envelope: Envelope) -> None:
+        if self._host._crashed or self._replica is None:
+            return
+        self._replica_on_message(envelope.src, envelope.message)
+
+    # ------------------------------------------------------------------ faults
+    @property
+    def crashed(self) -> bool:
+        return self._host._crashed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "crashed" if self._host._crashed else "up"
+        return f"ShardReplicaHost(shard={self.shard}, node={self._host.endpoint_id}, {state})"

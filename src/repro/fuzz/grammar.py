@@ -60,6 +60,9 @@ class FuzzProfile:
     wan_probability: float = 0.25
     #: Allow schedules that crash nodes (majority always stays up).
     allow_crashes: bool = True
+    #: Upper bound on co-hosted consensus groups (1 disables the sharding
+    #: dimension entirely -- e.g. for replaying pre-sharding findings).
+    max_shards: int = 8
 
     def __post_init__(self) -> None:
         if not self.protocols:
@@ -71,6 +74,8 @@ class FuzzProfile:
             raise ConfigurationError("need 0 <= min_events <= max_events")
         if not self.durations:
             raise ConfigurationError("profile needs at least one duration")
+        if self.max_shards < 1:
+            raise ConfigurationError("max_shards must be >= 1")
 
 
 DEFAULT_PROFILE = FuzzProfile()
@@ -135,6 +140,16 @@ def generate_scenario(seed: int, profile: FuzzProfile = DEFAULT_PROFILE) -> Scen
     if protocol == "epaxos":
         checks = EPAXOS_CHECK_NAMES
 
+    client_timeout = rng.choice((0.3, 0.4, 0.5))
+    # Sharding dimension -- drawn LAST so every pre-sharding fuzz seed
+    # expands to the same shape and fault schedule it always did (adding a
+    # draw earlier would reshuffle every subsequent choice and invalidate
+    # all recorded findings).  Most runs stay single-group; sharded runs
+    # sweep 2-8 co-hosted consensus groups, capped by the keyspace.
+    shards = 1
+    if profile.max_shards > 1 and rng.random() < 0.35:
+        shards = min(rng.randint(2, profile.max_shards), workload.num_keys)
+
     return Scenario(
         name=f"fuzz-{seed}",
         protocol=protocol,
@@ -146,7 +161,8 @@ def generate_scenario(seed: int, profile: FuzzProfile = DEFAULT_PROFILE) -> Scen
         wan=wan,
         use_region_groups=use_region_groups,
         workload=workload,
-        client_timeout=rng.choice((0.3, 0.4, 0.5)),
+        client_timeout=client_timeout,
+        shards=shards,
         events=events,
         config_overrides=config_overrides or None,
         checks=checks,

@@ -235,6 +235,15 @@ def _candidate_builders(scenario: Scenario):
                     workload=replace(scenario.workload, num_keys=keys),
                 ),
             )
+    # 4b. Single consensus group: if the bug reproduces unsharded it is not
+    #     a cross-group interaction, and the replay is far easier to read.
+    #     (Also unblocks the keyspace shrink above, which the shards <=
+    #     num_keys constraint would otherwise veto.)
+    if scenario.shards > 1:
+        yield lambda: (
+            f"shards {scenario.shards} -> 1",
+            replace(scenario, shards=1),
+        )
     # 5. Simpler config: drop overrides one at a time.
     overrides = dict(scenario.config_overrides or {})
     for key in sorted(overrides):
@@ -310,6 +319,8 @@ def scenario_literal(scenario: Scenario, indent: str = "") -> str:
         lines.append(f"{pad}workload={workload},")
     if scenario.client_timeout != _SCENARIO_DEFAULTS.client_timeout:
         lines.append(f"{pad}client_timeout={scenario.client_timeout!r},")
+    if scenario.shards != _SCENARIO_DEFAULTS.shards:
+        lines.append(f"{pad}shards={scenario.shards!r},")
     if scenario.drop_probability != _SCENARIO_DEFAULTS.drop_probability:
         lines.append(f"{pad}drop_probability={scenario.drop_probability!r},")
     if scenario.checks != _SCENARIO_DEFAULTS.checks:

@@ -126,6 +126,7 @@ METRIC_NAME_PREFIXES: Tuple[str, ...] = (
     "paxos.",           # replica counters, protocol-prefixed form
     "pigpaxos.",
     "epaxos.",
+    "shard.",           # shard.<s>.requests / shard.<s>.completions (workload/client.py)
 )
 
 

@@ -9,7 +9,7 @@ needed for the liveness/partition tests and the ablation benchmarks.
 from __future__ import annotations
 
 import random
-from typing import Dict, FrozenSet, Iterable, Set, Tuple
+from typing import Callable, Dict, FrozenSet, Iterable, Optional, Set, Tuple
 
 
 class NetworkFaults:
@@ -31,6 +31,15 @@ class NetworkFaults:
         self._partitions: list[FrozenSet[int]] = []
         self.lossy = False
         self.drop_probability = drop_probability
+        #: Optional endpoint-id canonicalisation applied before link/partition
+        #: membership tests.  Sharded clusters set it to
+        #: ``repro.shard.addressing.physical_node`` so that severing or
+        #: partitioning a *machine* affects every shard instance it hosts
+        #: (faults are physical; endpoint namespaces are logical).  ``None``
+        #: (the default) keeps the historical raw-id behaviour, and the check
+        #: sits behind the ``lossy`` gate so the fault-free hot path never
+        #: pays for it.
+        self.endpoint_key: Optional[Callable[[int], int]] = None
 
     @property
     def drop_probability(self) -> float:
@@ -87,6 +96,9 @@ class NetworkFaults:
     # ------------------------------------------------------------- verdict
     def should_drop(self, src: int, dst: int, rng: random.Random) -> bool:
         """Decide whether a message from src to dst is lost."""
+        key = self.endpoint_key
+        if key is not None:
+            src, dst = key(src), key(dst)
         if self.link_severed(src, dst):
             return True
         if self.partitioned(src, dst):

@@ -55,6 +55,7 @@ class SimNetwork:
         topology: Topology,
         size_model: Optional[SizeModel] = None,
         faults: Optional[NetworkFaults] = None,
+        latency_model=None,
     ) -> None:
         self._sim = sim
         self._topology = topology
@@ -66,8 +67,11 @@ class SimNetwork:
         self._metrics = sim.metrics
         # Hot-path bindings resolved once: the latency model and bandwidth
         # are fixed for the topology's lifetime, so the per-send delay needs
-        # no re-consulting of the topology object.
-        self._latency = topology.latency
+        # no re-consulting of the topology object.  ``latency_model``
+        # overrides the topology's model without mutating the topology --
+        # sharded clusters use it to fold shard endpoints onto physical
+        # nodes before every delay draw (see repro.shard.addressing).
+        self._latency = latency_model if latency_model is not None else topology.latency
         # Kept as a division (not a cached reciprocal) so delivery times stay
         # bit-identical with the historical `size / bandwidth` computation.
         self._bandwidth = topology.bandwidth_bytes_per_sec or 0.0

@@ -6,9 +6,12 @@ Used by CI for smoke runs and by developers to replay a scenario::
     PYTHONPATH=src python -m repro.scenarios --run pig-baseline-5 [--seed 7]
     PYTHONPATH=src python -m repro.scenarios --all [--protocol epaxos]
     PYTHONPATH=src python -m repro.scenarios --smoke --parallel 4
+    PYTHONPATH=src python -m repro.scenarios --smoke --sharded --parallel 0
 
 ``--protocol`` filters ``--list``/``--all``/``--smoke`` to one protocol so a
-protocol-specific sweep is one flag.  ``--parallel N`` fans a sweep out to
+protocol-specific sweep is one flag; ``--sharded`` restricts to the
+multi-group scenarios (with ``--smoke``, the sharded smoke subset --
+CI's cross-shard correctness step).  ``--parallel N`` fans a sweep out to
 ``N`` worker processes (``--parallel 0`` = one per core); runs stay
 single-core deterministic, so results and fingerprints are identical to the
 serial sweep -- only wall-clock changes.  Exit status is non-zero when any
@@ -23,6 +26,7 @@ from dataclasses import replace
 
 from repro.cluster.builder import PROTOCOLS
 from repro.scenarios.library import (
+    SHARDED_SMOKE_SCENARIOS,
     SMOKE_SCENARIOS,
     all_scenarios,
     get_scenario,
@@ -61,11 +65,22 @@ def main(argv=None) -> int:
              "(0 = one per core); per-scenario results are identical to "
              "the serial sweep",
     )
+    parser.add_argument(
+        "--sharded", action="store_true",
+        help="restrict --list/--all to multi-group scenarios (shards > 1); "
+             "with --smoke, run the sharded smoke subset instead",
+    )
     args = parser.parse_args(argv)
 
     selected = (
         scenarios_for_protocol(args.protocol) if args.protocol else all_scenarios()
     )
+    if args.sharded:
+        selected = {
+            name: scenario
+            for name, scenario in selected.items()
+            if scenario.shards > 1
+        }
 
     if args.list:
         for name, scenario in sorted(selected.items()):
@@ -89,11 +104,18 @@ def main(argv=None) -> int:
             scenario = replace(scenario, seed=args.seed)
         return 0 if _run_one(scenario) else 1
 
-    names = SMOKE_SCENARIOS if args.smoke else sorted(selected)
+    if args.smoke:
+        names = SHARDED_SMOKE_SCENARIOS if args.sharded else SMOKE_SCENARIOS
+    else:
+        names = sorted(selected)
     names = [name for name in names if name in selected]
     if not names:
         subset = "smoke scenarios" if args.smoke else "scenarios"
-        print(f"error: no {subset} for protocol {args.protocol!r}", file=sys.stderr)
+        qualifier = " (sharded)" if args.sharded else ""
+        print(
+            f"error: no {subset}{qualifier} for protocol {args.protocol!r}",
+            file=sys.stderr,
+        )
         return 2
     scenarios = [get_scenario(name) for name in names]
     if args.seed is not None:

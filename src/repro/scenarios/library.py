@@ -554,6 +554,123 @@ def _scenarios() -> List[Scenario]:
             ),
             description="Long-duration fault-tolerance run (Fig. 13 shape): repeated follower and leader crashes over 40 virtual seconds.",
         ),
+        # ---------------------------------------------------------- sharded
+        # Multi-group consensus over a shared node set (see repro.shard):
+        # each scenario runs `shards` independent consensus groups on the
+        # same machines, leaders placed round-robin, clients routing per
+        # key.  The safety checkers apply per group; linearizability is
+        # per-key and spans groups unchanged.
+        Scenario(
+            name="paxos-sharded-4",
+            protocol="paxos",
+            num_nodes=5,
+            num_clients=8,
+            duration=1.0,
+            seed=1,
+            shards=4,
+            checks=PAXOS_CHECK_NAMES + ("progress",),
+            min_completed=2150,  # seed completes 6566
+            description="Fault-free 4-shard Multi-Paxos on 5 shared nodes, leaders round-robin.",
+        ),
+        Scenario(
+            name="pig-sharded-4",
+            protocol="pigpaxos",
+            num_nodes=5,
+            relay_groups=2,
+            num_clients=8,
+            duration=1.0,
+            seed=1,
+            shards=4,
+            checks=PAXOS_CHECK_NAMES + ("progress",),
+            min_completed=1500,  # seed completes 4581
+            description="Fault-free 4-shard PigPaxos, every group fanning out through 2 relay groups.",
+        ),
+        Scenario(
+            name="epaxos-sharded-4",
+            protocol="epaxos",
+            num_nodes=5,
+            num_clients=8,
+            duration=1.0,
+            seed=1,
+            shards=4,
+            checks=EPAXOS_CHECK_NAMES + ("progress",),
+            min_completed=480,  # seed completes 1448
+            description="Fault-free 4-shard EPaxos: four leaderless groups sharing 5 nodes.",
+        ),
+        Scenario(
+            name="sharded-crash-shard-leader",
+            protocol="paxos",
+            num_nodes=5,
+            num_clients=6,
+            duration=1.5,
+            seed=3,
+            shards=4,
+            client_timeout=0.3,
+            checks=PAXOS_CHECK_NAMES + ("progress",),
+            min_completed=1490,  # seed completes 4476
+            events=(
+                # Node 1 hosts shard 1's leader under round-robin placement;
+                # crashing it also takes down follower instances of every
+                # other shard (co-hosting is the point of the tentpole).
+                E.crash(0.5, node=1),
+                E.recover(1.0, node=1),
+            ),
+            description="Crash the machine hosting shard 1's leader mid-run; other shards keep committing.",
+        ),
+        Scenario(
+            name="sharded-partition-straddle",
+            protocol="paxos",
+            num_nodes=5,
+            num_clients=6,
+            duration=1.8,
+            seed=5,
+            shards=4,
+            client_timeout=0.3,
+            checks=PAXOS_CHECK_NAMES + ("progress",),
+            min_completed=610,  # seed completes 1849
+            events=(
+                # {0, 1} is the minority side and holds the leaders of
+                # shards 0 and 1 -- both stall until heal while shards 2
+                # and 3 (leaders on the majority side) keep committing.
+                E.partition(0.4, (0, 1), (2, 3, 4)),
+                E.heal_partition(1.0),
+            ),
+            description="Partition straddling two shards' leader nodes: minority-side shards stall, majority-side shards stay live.",
+        ),
+        Scenario(
+            name="sharded-hot-shard-zipf",
+            protocol="epaxos",
+            num_nodes=5,
+            num_clients=6,
+            duration=1.2,
+            seed=7,
+            shards=4,
+            workload=WorkloadSpec(
+                num_keys=25,
+                read_ratio=0.5,
+                distribution="zipfian",
+                unique_values=True,
+            ),
+            checks=EPAXOS_CHECK_NAMES + ("progress",),
+            min_completed=550,  # seed completes 1652
+            description="Zipfian skew concentrates load on shard 0 (the hot group); per-shard counters expose the imbalance.",
+        ),
+        Scenario(
+            name="epaxos-sharded-relay-wan-9",
+            protocol="epaxos",
+            num_nodes=9,
+            wan=True,
+            num_clients=6,
+            duration=1.5,
+            seed=23,
+            shards=3,
+            checks=EPAXOS_CHECK_NAMES + ("progress",),
+            min_completed=65,  # seed completes 196
+            config_overrides={
+                "overlay": {"kind": "relay", "use_region_groups": True}
+            },
+            description="3-shard EPaxos over the three-region WAN, each group's rounds through region relay trees.",
+        ),
         Scenario(
             name="epaxos-duplicate-torture",
             protocol="epaxos",
@@ -615,4 +732,20 @@ SMOKE_SCENARIOS = (
     "epaxos-relay-wan-25",
     "epaxos-recovery-crash",
     "epaxos-relay-recovery-25",
+)
+
+
+#: The sharded smoke sweep (CI's multi-group step, ``--smoke --sharded``):
+#: the whole sharded family -- one fault-free cell per protocol, the two
+#: fault-confinement scenarios, the hot-group skew probe and the WAN relay
+#: cell.  Small enough to stay a smoke run, complete enough that any
+#: regression in routing, co-hosting or per-group checking fails fast.
+SHARDED_SMOKE_SCENARIOS = (
+    "paxos-sharded-4",
+    "pig-sharded-4",
+    "epaxos-sharded-4",
+    "sharded-crash-shard-leader",
+    "sharded-partition-straddle",
+    "sharded-hot-shard-zipf",
+    "epaxos-sharded-relay-wan-9",
 )

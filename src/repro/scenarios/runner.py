@@ -116,6 +116,8 @@ class ScenarioRunner:
         )
         if scenario.wan:
             builder.topology(wan_topology(num_nodes=scenario.num_nodes))
+        if scenario.shards != 1:
+            builder.shards(scenario.shards)
         if scenario.relay_groups is not None:
             builder.relay_groups(scenario.relay_groups)
         if scenario.use_region_groups:
@@ -167,9 +169,9 @@ class ScenarioRunner:
 
         history = self._recorder.history()
         if "log_invariants" in self.scenario.checks:
-            violations.extend(run_log_checks(cluster))
+            violations.extend(self._grouped_checks(cluster, run_log_checks))
         if "epaxos_invariants" in self.scenario.checks:
-            violations.extend(run_epaxos_checks(cluster))
+            violations.extend(self._grouped_checks(cluster, run_epaxos_checks))
         if "linearizability" in self.scenario.checks:
             violations.extend(check_linearizability(history))
         if "progress" in self.scenario.checks:
@@ -196,6 +198,27 @@ class ScenarioRunner:
             virtual_duration=cluster.sim.now,
             events_fired=events_fired,
         )
+
+    @staticmethod
+    def _grouped_checks(cluster: Cluster, check) -> List[Violation]:
+        """Apply a cluster-shaped checker per consensus group.
+
+        Unsharded clusters go straight through (the historical path); a
+        sharded cluster is checked one :class:`ShardGroupView` at a time,
+        with each violation labelled by the group it came from.
+        """
+        if cluster.num_shards == 1:
+            return check(cluster)
+        violations: List[Violation] = []
+        for view in cluster.shard_views():
+            for violation in check(view):
+                violations.append(
+                    Violation(
+                        checker=violation.checker,
+                        message=f"[shard {view.shard}] {violation.message}",
+                    )
+                )
+        return violations
 
     # ------------------------------------------------------------------ events
     #: Static actions map 1:1 onto the cluster's own fault dispatcher.
@@ -244,8 +267,9 @@ class ScenarioRunner:
         elif action == "reshuffle_relays":
             # Paxos-family: only the leader owns a relay plan.  EPaxos:
             # every replica is a fan-out root with its own plan, so all of
-            # them reshuffle (a no-op under non-relay overlays).
-            for node in cluster.nodes.values():
+            # them reshuffle (a no-op under non-relay overlays).  Sharded
+            # clusters reshuffle every hosted group's eligible replicas.
+            for node in cluster.all_replica_hosts():
                 replica = node.replica
                 if node.crashed or not hasattr(replica, "reshuffle_groups"):
                     continue

@@ -192,6 +192,12 @@ class Scenario:
         client_timeout: Client request timeout before rotating targets;
             fault scenarios lower it so clients re-find the leader within
             the scenario's duration.
+        shards: Number of independent consensus groups sharing the node set
+            (1 = the historical single-group deployment).  Each group owns a
+            contiguous key range, leaders spread round-robin across nodes,
+            and clients route per key (see :mod:`repro.shard`).  The safety
+            checkers apply per group; linearizability stays per-key and
+            needs no adaptation.
         drop_probability: Baseline random message-drop probability.
         events: Timed fault schedule.
         config_overrides: Extra protocol-config fields (e.g.
@@ -217,6 +223,7 @@ class Scenario:
     use_region_groups: bool = False
     workload: WorkloadSpec = field(default_factory=WorkloadSpec.checking_default)
     client_timeout: float = 2.0
+    shards: int = 1
     drop_probability: float = 0.0
     events: Tuple[ScenarioEvent, ...] = ()
     config_overrides: Optional[Mapping[str, object]] = None
@@ -233,6 +240,13 @@ class Scenario:
             raise ConfigurationError("duration must be positive")
         if self.client_timeout is None or self.client_timeout <= 0:
             raise ConfigurationError("client_timeout must be positive")
+        if self.shards < 1:
+            raise ConfigurationError("shards must be >= 1")
+        if self.shards > self.workload.num_keys:
+            raise ConfigurationError(
+                f"shards={self.shards} exceeds workload num_keys="
+                f"{self.workload.num_keys}; every shard needs at least one key"
+            )
         if self.min_completed < 0:
             raise ConfigurationError("min_completed must be >= 0")
         for check in self.checks:

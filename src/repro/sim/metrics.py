@@ -295,3 +295,53 @@ def sent_by_kind(counters: Dict[str, float]) -> Dict[str, Dict[str, float]]:
             kind = name[len("net.sent."):]
             by_kind.setdefault(kind, {"count": 0.0, "bytes": 0.0})["count"] = value
     return by_kind
+
+
+# --------------------------------------------------------------------------
+# Per-shard aggregation
+#
+# Sharded clusters record ``shard.<s>.requests`` / ``shard.<s>.completions``
+# from the routing clients (one request per issued command, one completion
+# per successful reply; retries re-use the original request's count).  The
+# physical ``node.<id>.*`` counters above deliberately stay machine-level --
+# co-hosted shard instances bill traffic to their host -- so these helpers
+# are the *logical* per-group view that sits alongside them.
+
+
+def shard_traffic(counters: Dict[str, float]) -> Dict[int, Dict[str, float]]:
+    """Per-shard workload traffic from a counter dump.
+
+    Returns ``{shard: {requests, completions}}`` parsed from the
+    ``shard.<s>.*`` counters; empty for unsharded runs (which record none).
+    """
+    traffic: Dict[int, Dict[str, float]] = {}
+    for name, value in sorted(counters.items()):
+        if not name.startswith("shard."):
+            continue
+        _, shard_text, field = name.split(".", 2)
+        if field not in ("requests", "completions"):
+            continue
+        traffic.setdefault(int(shard_text), {"requests": 0.0, "completions": 0.0})[field] = value
+    return traffic
+
+
+def shard_summary(counters: Dict[str, float]) -> Dict[str, float]:
+    """Cluster-wide totals plus balance statistics across shards.
+
+    ``hottest_share`` is the hottest shard's fraction of all completions
+    (1/num_shards = perfectly balanced, 1.0 = one shard took everything) --
+    the single number that tells a scaling benchmark whether its win came
+    from real load-spreading or from one group doing all the work.
+    """
+    traffic = shard_traffic(counters)
+    if not traffic:
+        return {}
+    completions = [stats["completions"] for _, stats in sorted(traffic.items())]
+    total = sum(completions)
+    return {
+        "num_shards": float(len(traffic)),
+        "requests_total": sum(stats["requests"] for stats in traffic.values()),
+        "completions_total": total,
+        "hottest_shard_completions": max(completions),
+        "hottest_share": (max(completions) / total) if total else 0.0,
+    }

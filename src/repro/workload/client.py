@@ -21,6 +21,7 @@ from repro.errors import WorkloadError
 from repro.net.message import Envelope
 from repro.net.network import SimNetwork
 from repro.protocol.messages import ClientReply, ClientRequest
+from repro.shard.addressing import shard_of_endpoint
 from repro.sim.engine import Simulator
 from repro.workload.generator import CommandGenerator
 from repro.workload.spec import WorkloadSpec
@@ -58,6 +59,7 @@ class _BaseClient:
         target_policy: str = "leader",
         request_timeout: float = 2.0,
         recorder=None,
+        router=None,
     ) -> None:
         if not targets:
             raise WorkloadError("client needs at least one target node")
@@ -73,6 +75,23 @@ class _BaseClient:
         self._generator = CommandGenerator(spec, client_id, self._rng)
         self._leader_hint = self._targets[0]
         self._recorder = recorder
+        # Sharded routing (see repro.shard.router.ShardRouter): when set,
+        # every command is aimed at the consensus group owning its key, with
+        # one mutable leader hint per shard.  ``None`` keeps the historical
+        # single-group behaviour bit-for-bit (no extra RNG draws, no extra
+        # counters).
+        self._router = router
+        if router is not None:
+            self._shard_leader_hints = list(router.leaders)
+            metrics = sim.metrics
+            self._shard_requests = [
+                metrics.counter(f"shard.{shard}.requests")
+                for shard in range(router.num_shards)
+            ]
+            self._shard_completions = [
+                metrics.counter(f"shard.{shard}.completions")
+                for shard in range(router.num_shards)
+            ]
         self.stats = ClientStats(client_id=client_id)
         network.register(self)
 
@@ -94,9 +113,28 @@ class _BaseClient:
             return self._rng.choice(self._targets)
         return self._leader_hint
 
+    def _pick_target_for(self, key: str) -> int:
+        """Target for a command on ``key``: its shard's group when routed."""
+        router = self._router
+        if router is None:
+            return self._pick_target()
+        shard = router.shard_of_key(key)
+        if self._target_policy == "random":
+            return self._rng.choice(router.group_of(shard))
+        return self._shard_leader_hints[shard]
+
     def _note_leader_hint(self, reply: ClientReply) -> None:
-        if reply.leader_hint is not None and reply.leader_hint in self._targets:
-            self._leader_hint = reply.leader_hint
+        hint = reply.leader_hint
+        if hint is None:
+            return
+        router = self._router
+        if router is None:
+            if hint in self._targets:
+                self._leader_hint = hint
+            return
+        shard = shard_of_endpoint(hint)
+        if shard < router.num_shards and hint in router.group_of(shard):
+            self._shard_leader_hints[shard] = hint
 
     def _send(self, request: ClientRequest, target: int) -> None:
         self._network.send(self.endpoint_id, target, request)
@@ -126,14 +164,16 @@ class ClosedLoopClient(_BaseClient):
         start_time: float = 0.0,
         max_requests: Optional[int] = None,
         recorder=None,
+        router=None,
     ) -> None:
         super().__init__(client_id, sim, network, spec, targets, target_policy,
-                         request_timeout, recorder=recorder)
+                         request_timeout, recorder=recorder, router=router)
         self._start_time = start_time
         self._max_requests = max_requests
         self._outstanding_request_id: Optional[int] = None
         self._outstanding_request: Optional[ClientRequest] = None
         self._outstanding_sent_at = 0.0
+        self._outstanding_shard: Optional[int] = None
         self._timeout_timer = None
         self._stopped = False
 
@@ -155,8 +195,12 @@ class ClosedLoopClient(_BaseClient):
         self._outstanding_request_id = command.request_id
         self._outstanding_request = request
         self._outstanding_sent_at = self._sim.now
+        if self._router is not None:
+            shard = self._router.shard_of_key(command.key)
+            self._outstanding_shard = shard
+            self._shard_requests[shard].value += 1
         self._record_invoke(command)
-        self._send(request, self._pick_target())
+        self._send(request, self._pick_target_for(command.key))
         self._timeout_timer = self._sim.schedule(
             self._request_timeout, self._on_timeout, command.request_id, request
         )
@@ -169,13 +213,19 @@ class ClosedLoopClient(_BaseClient):
             self._note_leader_hint(reply)
             self.stats.retries += 1
             if self._outstanding_request is not None:
-                self._send(self._outstanding_request, self._pick_target())
+                self._send(
+                    self._outstanding_request,
+                    self._pick_target_for(self._outstanding_request.command.key),
+                )
             return
         self._outstanding_request_id = None
         self._outstanding_request = None
         if self._timeout_timer is not None:
             self._timeout_timer.cancel()
             self._timeout_timer = None
+        if self._router is not None and self._outstanding_shard is not None:
+            self._shard_completions[self._outstanding_shard].value += 1
+            self._outstanding_shard = None
         latency = self._sim.now - self._outstanding_sent_at
         self.stats.received += 1
         self.stats.completions.append((self._sim.now, latency))
@@ -189,13 +239,23 @@ class ClosedLoopClient(_BaseClient):
         if self._stopped or request_id != self._outstanding_request_id:
             return
         # Re-send the same request; rotate the target in case the leader died.
+        # Sharded: rotate only within the shard's own group so a retry can
+        # never cross a shard boundary.
         self.stats.retries += 1
+        key = request.command.key
         if self._target_policy == "leader":
-            current = self._leader_hint
-            others = [t for t in self._targets if t != current]
-            if others:
-                self._leader_hint = self._rng.choice(others)
-        self._send(request, self._pick_target())
+            if self._router is None:
+                current = self._leader_hint
+                others = [t for t in self._targets if t != current]
+                if others:
+                    self._leader_hint = self._rng.choice(others)
+            else:
+                shard = self._router.shard_of_key(key)
+                current = self._shard_leader_hints[shard]
+                others = [t for t in self._router.group_of(shard) if t != current]
+                if others:
+                    self._shard_leader_hints[shard] = self._rng.choice(others)
+        self._send(request, self._pick_target_for(key))
         self._timeout_timer = self._sim.schedule(
             self._request_timeout, self._on_timeout, request_id, request
         )
@@ -216,15 +276,17 @@ class OpenLoopClient(_BaseClient):
         start_time: float = 0.0,
         duration: Optional[float] = None,
         recorder=None,
+        router=None,
     ) -> None:
         super().__init__(client_id, sim, network, spec, targets, target_policy,
-                         recorder=recorder)
+                         recorder=recorder, router=router)
         if rate_per_sec <= 0:
             raise WorkloadError("rate_per_sec must be positive")
         self._rate = rate_per_sec
         self._start_time = start_time
         self._duration = duration
         self._in_flight: dict = {}
+        self._in_flight_shards: dict = {}
 
     def start(self) -> None:
         self._sim.schedule(self._start_time + self._next_gap(), self._issue)
@@ -237,8 +299,12 @@ class OpenLoopClient(_BaseClient):
             return
         command = self._generator.next_command()
         self._in_flight[command.request_id] = self._sim.now
+        if self._router is not None:
+            shard = self._router.shard_of_key(command.key)
+            self._in_flight_shards[command.request_id] = shard
+            self._shard_requests[shard].value += 1
         self._record_invoke(command)
-        self._send(ClientRequest(command=command), self._pick_target())
+        self._send(ClientRequest(command=command), self._pick_target_for(command.key))
         self._sim.schedule(self._next_gap(), self._issue)
 
     def _on_reply(self, reply: ClientReply) -> None:
@@ -248,6 +314,10 @@ class OpenLoopClient(_BaseClient):
         sent_at = self._in_flight.pop(reply.request_id, None)
         if sent_at is None:
             return
+        if self._router is not None:
+            shard = self._in_flight_shards.pop(reply.request_id, None)
+            if shard is not None:
+                self._shard_completions[shard].value += 1
         latency = self._sim.now - sent_at
         self.stats.received += 1
         self.stats.completions.append((self._sim.now, latency))

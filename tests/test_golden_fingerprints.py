@@ -55,6 +55,14 @@ GOLDEN_FINGERPRINTS = {
     "epaxos-duplicate-torture": "35b164448a71c318befcd162779819ed02b942bc694f930eeda7f7bb1abf527e",
     "paxos-throughput-25": "a31b239a31e6cefa06d77b2cf62c7058adf0c4f68cae3f83220e41f8734ff9b2",
     "epaxos-relay-wan-25": "33c1e9444b5bc5788c0dbfef50bb2992abe57af9fb4f85593bec48411a29b472",
+    # Sharding tripwires (recorded at the sharding PR): 4 consensus groups
+    # co-hosted on 5 nodes, leaders round-robin, clients routing per key.
+    # Every *unsharded* fingerprint above predates sharding and must stay
+    # byte-identical -- the single-group path shares the sharded code's
+    # client/network/builder surfaces, so these pins prove shards=1 pays
+    # zero determinism tax (no extra RNG draws, no reordered events).
+    "paxos-sharded-4": "2d696109ea25503fa0e2cc4ecdd8048bd65dc0f3aa77e9230a05cb0ad99988a2",
+    "epaxos-sharded-4": "49e235b42e538c3547b717d0f1839e9724435eb0d385337e204b2a3cbfefa750",
 }
 
 
