@@ -374,3 +374,182 @@ def test_shard_scaling_curve(benchmark):
     )
     # Past saturation the curve flattens rather than regresses.
     assert by_shards[64]["ops_per_sec"] >= 0.95 * by_shards[16]["ops_per_sec"]
+
+
+# ---------------------------------------------------------------------------
+# Batching frontier (batch size x offered load, 25-node Multi-Paxos)
+
+#: Batch sizes of the frontier sweep; 1 is the unbatched control.
+FRONTIER_BATCH_CELLS = (1, 4, 8, 16)
+
+#: Offered-load lever: closed-loop client counts.  6 matches the
+#: paxos-throughput-25 scenario (light load, latency end of the frontier);
+#: 48 drives the 25-node leader well past saturation (throughput end).
+FRONTIER_CLIENT_CELLS = (6, 24, 48)
+
+#: The reduced frontier CI's perf job runs (report-only quick tier): the
+#: unbatched control and one batched column, at both ends of the load axis.
+FRONTIER_QUICK_CELLS = tuple(
+    (batch, clients) for batch in (1, 8) for clients in (6, 48)
+)
+
+
+def _frontier_scenario(batch: int, clients: int) -> Scenario:
+    """One frontier cell: paxos-throughput-25's cluster, varying load/batch.
+
+    ``pipeline_depth=2`` for the batched cells: batching on this path
+    emerges from pipeline back-pressure (commands buffer while two slots
+    are in flight and flush as a batch when one commits), so an unbounded
+    pipeline would degenerate to one command per slot at any load.
+    """
+    overrides = None
+    if batch > 1:
+        overrides = {"batch_max_commands": batch, "pipeline_depth": 2}
+    return Scenario(
+        name=f"frontier-b{batch}-c{clients}",
+        protocol="paxos",
+        num_nodes=25,
+        num_clients=clients,
+        duration=1.0,
+        seed=7,
+        checks=("linearizability", "log_invariants"),
+        config_overrides=overrides,
+        description="batching frontier cell",
+    )
+
+
+def _latencies(result) -> list:
+    return sorted(
+        op.completed_at - op.invoked_at
+        for op in result.history.completed()
+        if op.completed_at is not None
+    )
+
+
+def _run_frontier(cells) -> list:
+    records = []
+    for batch, clients in cells:
+        result = run_scenario(_frontier_scenario(batch, clients))
+        counters = result.counters()
+        node, hot = bottleneck_node(counters)
+        latencies = _latencies(result)
+        completed = max(result.completed_requests, 1)
+        p50 = latencies[len(latencies) // 2] if latencies else None
+        p99 = latencies[min(len(latencies) - 1, int(len(latencies) * 0.99))] if latencies else None
+        records.append(
+            {
+                "batch_max_commands": batch,
+                "clients": clients,
+                "completed": result.completed_requests,
+                "ops_per_sec": round(result.completed_requests / result.scenario.duration, 1),
+                "latency_p50_ms": None if p50 is None else round(p50 * 1e3, 2),
+                "latency_p99_ms": None if p99 is None else round(p99 * 1e3, 2),
+                "bottleneck_node": node,
+                "bottleneck_messages": int(hot.get("messages_total", 0)),
+                "bottleneck_msgs_per_op": round(hot.get("messages_total", 0) / completed, 2),
+                "bottleneck_bytes_per_op": round(hot.get("bytes_total", 0) / completed, 1),
+                "total_messages": int(counters.get("net.messages_sent", 0)),
+                "batch_flushes": int(
+                    sum(v for k, v in counters.items() if k.startswith("batch.flush."))
+                ),
+                "commands_batched": int(counters.get("batch.commands_batched", 0)),
+                "violations": len(result.violations),
+                "ok": result.ok,
+            }
+        )
+    return records
+
+
+def frontier_table(records) -> list:
+    rows = [
+        (
+            r["batch_max_commands"],
+            r["clients"],
+            f"{r['ops_per_sec']:.0f}",
+            "-" if r["latency_p50_ms"] is None else f"{r['latency_p50_ms']:.1f}",
+            "-" if r["latency_p99_ms"] is None else f"{r['latency_p99_ms']:.1f}",
+            r["bottleneck_msgs_per_op"],
+            r["bottleneck_bytes_per_op"],
+            "OK" if r["ok"] else f"{r['violations']} VIOLATIONS",
+        )
+        for r in records
+    ]
+    return comparison_table(
+        [
+            "batch",
+            "clients",
+            "ops/s",
+            "p50 ms",
+            "p99 ms",
+            "hot msgs/op",
+            "hot bytes/op",
+            "checkers",
+        ],
+        rows,
+    )
+
+
+@pytest.mark.benchmark(group="scenarios")
+def test_batching_frontier_sweep(benchmark):
+    cells = [(b, c) for b in FRONTIER_BATCH_CELLS for c in FRONTIER_CLIENT_CELLS]
+    records = benchmark.pedantic(_run_frontier, args=(cells,), rounds=1, iterations=1)
+
+    report(
+        "batching_frontier",
+        "Latency-vs-throughput frontier -- batch size x offered load, 25-node Multi-Paxos",
+        frontier_table(records),
+    )
+    _merge_into_json("batching_frontier", records)
+
+    by_cell = {(r["batch_max_commands"], r["clients"]): r for r in records}
+    assert all(r["ok"] for r in records), [
+        (r["batch_max_commands"], r["clients"], r["violations"]) for r in records
+    ]
+    # The tentpole's acceptance bar: at saturating load the batched leader
+    # must deliver at least 2x the unbatched ops/sec on the same cluster --
+    # amortizing the 2(N-1) per-slot messages is the whole point.  (Seeded
+    # and single-threaded, so the measured frontier is deterministic.)
+    saturated = max(FRONTIER_CLIENT_CELLS)
+    unbatched = by_cell[(1, saturated)]["ops_per_sec"]
+    batched = max(
+        by_cell[(batch, saturated)]["ops_per_sec"] for batch in FRONTIER_BATCH_CELLS[1:]
+    )
+    assert batched >= 2.0 * unbatched, (batched, unbatched)
+    # Batching must also slash per-op traffic at the bottleneck node.
+    assert (
+        by_cell[(8, saturated)]["bottleneck_msgs_per_op"]
+        < 0.5 * by_cell[(1, saturated)]["bottleneck_msgs_per_op"]
+    )
+    # At light load the unbatched control keeps the lower p50: the
+    # frontier's latency end must show the cost side of the trade-off.
+    light = min(FRONTIER_CLIENT_CELLS)
+    assert by_cell[(1, light)]["latency_p50_ms"] is not None
+
+
+def main(argv=None) -> int:
+    """Report-only quick frontier tier for CI's perf job.
+
+    Runs the reduced cell set and writes the records to ``--json`` (the CI
+    artifact); exits non-zero only on a checker violation, never on a
+    number -- shared-runner speed is noise, simulated semantics are not.
+    """
+    import argparse
+
+    parser = argparse.ArgumentParser(description=main.__doc__)
+    parser.add_argument("--json", default=None, help="write frontier records to this path")
+    args = parser.parse_args(argv)
+    records = _run_frontier(FRONTIER_QUICK_CELLS)
+    for line in frontier_table(records):
+        print(line)
+    if args.json:
+        from pathlib import Path
+
+        Path(args.json).write_text(
+            json.dumps({"batching_frontier_quick": records}, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+    return 0 if all(r["ok"] for r in records) else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

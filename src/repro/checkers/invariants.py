@@ -405,16 +405,31 @@ def check_epaxos_execution_order(cluster) -> List[Violation]:
     return violations
 
 
+def _command_keys(command) -> Tuple[str, ...]:
+    """Every key a committed command touches.
+
+    A :class:`~repro.statemachine.command.CommandBatch` touches each of its
+    sub-commands' keys (its ``keys()`` method); a plain command touches one;
+    a recovery no-op touches none.  The per-key checks must treat a batch as
+    a first-class vertex on *every* key inside it, or the dependency paths
+    that run through batches look lost and per-key executed sequences skip
+    the batch's writes.
+    """
+    keys = getattr(command, "keys", None)
+    if callable(keys):
+        return tuple(keys())
+    key = getattr(command, "key", None)
+    return () if key is None else (key,)
+
+
 def _per_key_executed_uids(replica) -> Dict[str, List[Optional[int]]]:
     by_key: Dict[str, List[Optional[int]]] = {}
     for instance_id in getattr(replica, "executed_order", []):
         instance = replica.instances.get(instance_id)
         if instance is None:
             continue
-        key = getattr(instance.command, "key", None)
-        if key is None:
-            continue
-        by_key.setdefault(key, []).append(getattr(instance.command, "uid", None))
+        for key in _command_keys(instance.command):
+            by_key.setdefault(key, []).append(getattr(instance.command, "uid", None))
     return by_key
 
 
@@ -486,8 +501,7 @@ def check_epaxos_conflict_ordering(cluster) -> List[Violation]:
             if instance.status not in _EPAXOS_DECIDED:
                 continue
             deps.setdefault(instance_id, frozenset(instance.deps))
-            key = getattr(instance.command, "key", None)
-            if key is not None:
+            for key in _command_keys(instance.command):
                 by_key.setdefault(key, set()).add(instance_id)
 
     def deps_of(instance_id):
@@ -500,7 +514,9 @@ def check_epaxos_conflict_ordering(cluster) -> List[Violation]:
             continue
         # Reachability over the condensed (acyclic) graph, restricted to
         # this key's instances: deps never cross keys, so the per-key
-        # subgraph is self-contained.  Bitmask DP over components.
+        # subgraph is self-contained.  Command batches are members of every
+        # key they touch (``_command_keys``), which keeps paths that run
+        # through a batch inside the subgraph.  Bitmask DP over components.
         components = sorted({scc[m] for m in members if m in scc})
         comp_index = {component: i for i, component in enumerate(components)}
         comp_members: Dict[int, List[Tuple[int, int]]] = {}

@@ -588,24 +588,32 @@ class ClusterBuilder:
             if config is None:
                 return EPaxosReplica(overlay=overlay)
             # EPaxos consumes only the shared session_window, overlay,
-            # recovery_timeout and leader_retry_timeout knobs; reject a
-            # config that sets anything else rather than silently ignore it.
+            # recovery_timeout, leader_retry_timeout and batching knobs;
+            # reject a config that sets anything else rather than silently
+            # ignore it.
             if type(config) is not ProtocolConfig or config != ProtocolConfig(
                 session_window=config.session_window,
                 overlay=config.overlay,
                 recovery_timeout=config.recovery_timeout,
                 leader_retry_timeout=config.leader_retry_timeout,
+                batch_max_commands=config.batch_max_commands,
+                batch_max_delay=config.batch_max_delay,
+                pipeline_depth=config.pipeline_depth,
             ):
                 raise ConfigurationError(
                     "epaxos only consumes ProtocolConfig.session_window, "
-                    ".overlay, .recovery_timeout and .leader_retry_timeout; "
-                    "other protocol-config fields would be silently ignored"
+                    ".overlay, .recovery_timeout, .leader_retry_timeout and "
+                    "the batching knobs; other protocol-config fields would "
+                    "be silently ignored"
                 )
             return EPaxosReplica(
                 session_window=config.session_window,
                 overlay=overlay,
                 recovery_timeout=config.recovery_timeout,
                 leader_retry_timeout=config.leader_retry_timeout,
+                batch_max_commands=config.batch_max_commands,
+                batch_max_delay=config.batch_max_delay,
+                pipeline_depth=config.pipeline_depth,
             )
         raise ConfigurationError(f"unknown protocol {self._protocol!r}")
 

@@ -70,11 +70,11 @@ from repro.epaxos.messages import (
 from repro.net.message import Message
 from repro.overlay.base import FanoutOverlay
 from repro.overlay.messages import OverlayMessage
-from repro.protocol.base import Replica
+from repro.protocol.base import Replica, build_batch_metrics
 from repro.protocol.config import DEFAULT_RECOVERY_TIMEOUT
 from repro.protocol.messages import ClientReply, ClientRequest
 from repro.quorum.systems import FastQuorum
-from repro.statemachine.command import Command, CommandResult, NoOp
+from repro.statemachine.command import Command, CommandBatch, CommandResult, NoOp
 from repro.statemachine.kvstore import KVStore
 from repro.statemachine.sessions import DEFAULT_SESSION_WINDOW, ClientSessionCache
 
@@ -120,6 +120,10 @@ class _Instance:
     attr_ballot: Optional[Ballot] = None
     local_changed: bool = False
     retry_timer: Optional[object] = None
+    #: For :class:`CommandBatch` instances led here: one (client_id,
+    #: request_id) pair per sub-command, in batch order, so execution can
+    #: reply per command (``client_id``/``request_id`` stay unset then).
+    batch_clients: Optional[Tuple[Tuple[int, int], ...]] = None
 
     def __post_init__(self) -> None:
         if self.ballot is None:
@@ -166,6 +170,9 @@ class EPaxosReplica(Replica):
         overlay: Optional[FanoutOverlay] = None,
         recovery_timeout: Optional[float] = DEFAULT_RECOVERY_TIMEOUT,
         leader_retry_timeout: Optional[float] = None,
+        batch_max_commands: int = 1,
+        batch_max_delay: Optional[float] = None,
+        pipeline_depth: Optional[int] = None,
     ) -> None:
         super().__init__(overlay=overlay)
         self._quorum = quorum
@@ -227,6 +234,25 @@ class EPaxosReplica(Replica):
         # this long without a quorum.  None (default) keeps the historical
         # rely-on-client-retries behaviour.
         self._leader_retry_timeout = leader_retry_timeout
+        # Command batching (PR 9): this replica, as an opportunistic leader,
+        # buffers pairwise non-conflicting client commands and leads one
+        # instance for the whole batch.  A conflicting arrival flushes the
+        # buffer first (batch order would otherwise have to encode the
+        # conflict ordering the instance graph exists to provide); the
+        # buffer also flushes at batch_max_commands or after batch_max_delay.
+        # With the delay unset, commands propose immediately and batching is
+        # effectively off (EPaxos has no pipeline to park commands behind,
+        # so a delay bound is what creates batching opportunities here).
+        # ``pipeline_depth`` is accepted for config uniformity and ignored:
+        # instances are not a pipeline.  All off (zero events, zero metric
+        # registrations) at the default batch_max_commands == 1.
+        del pipeline_depth
+        self._batch_max_commands = batch_max_commands
+        self._batch_max_delay = batch_max_delay
+        self._batch_enabled = batch_max_commands > 1
+        self._batch_buffer: List[Tuple[Command, int]] = []
+        self._batch_timer: Optional[object] = None
+        self._batch_metrics = None
 
     # ------------------------------------------------------------------ setup
     @property
@@ -298,6 +324,18 @@ class EPaxosReplica(Replica):
     # ------------------------------------------------------------------ conflict tracking
     def _conflicts_for(self, command: Command, exclude: Optional[InstanceId] = None) -> Tuple[int, FrozenSet[InstanceId]]:
         """Sequence number and dependency set implied by the local key index."""
+        if type(command) is CommandBatch:
+            # A batch depends on everything any of its commands depends on;
+            # its sequence number must exceed every conflicting instance's.
+            # Acceptors recompute this on PreAccept exactly like for a plain
+            # command, so the merged attributes stay key-accurate.
+            seq = 1
+            merged: Set[InstanceId] = set()
+            for sub in command.commands:
+                sub_seq, sub_deps = self._conflicts_for(sub, exclude)
+                seq = max(seq, sub_seq)
+                merged |= sub_deps
+            return seq, frozenset(merged)
         deps: Set[InstanceId] = set()
         seq = 1
         index = self._key_index.get(command.key)
@@ -325,6 +363,13 @@ class EPaxosReplica(Replica):
         that key silently loses its dependency edge to the newer instance
         (and can regress its sequence number).
         """
+        if type(command) is CommandBatch:
+            # The batch's instance is the latest same-origin instance on
+            # *every* key it touches; later commands on any of those keys
+            # must depend on it.
+            for sub in command.commands:
+                self._record_key(sub, instance)
+            return
         origin, number = instance
         key = getattr(command, "key", None)
         if key is None:
@@ -342,6 +387,79 @@ class EPaxosReplica(Replica):
     def _on_client_request(self, src: int, msg: ClientRequest) -> None:
         self.count("client_requests")
         command = msg.command
+        client_id = command.client_id if command.client_id >= 0 else src
+        if self._batch_enabled:
+            self._buffer_for_batch(command, client_id)
+            return
+        self._lead_instance(command, client_id, command.request_id)
+
+    # ------------------------------------------------------------------ batching
+    def _batch_counters(self):
+        """Lazily bound ``batch.*`` metrics (batching-enabled runs only)."""
+        if self._batch_metrics is None:
+            self._batch_metrics = build_batch_metrics(self.ctx.metrics)
+        return self._batch_metrics
+
+    def _buffer_for_batch(self, command: Command, client_id: int) -> None:
+        """Queue a command for this leader's next batched instance.
+
+        Flush triggers (counted under ``batch.flush.<trigger>``): a
+        **conflict**ing arrival flushes the standing buffer before being
+        queued itself (batches hold pairwise non-conflicting commands only,
+        so the instance graph keeps providing all conflict ordering); the
+        buffer reaching batch_max_commands flushes on **size**; a partial
+        buffer flushes after batch_max_delay (**delay**) -- or, with no
+        delay bound configured, **immediate**ly, which degenerates to the
+        unbatched behaviour.
+        """
+        buffer = self._batch_buffer
+        if buffer and any(command.conflicts_with(queued) for queued, _ in buffer):
+            self._flush_batch("conflict")
+        self._batch_buffer.append((command, client_id))
+        if len(self._batch_buffer) >= self._batch_max_commands:
+            self._flush_batch("size")
+        elif self._batch_max_delay is not None:
+            if self._batch_timer is None:
+                self._batch_timer = self.ctx.schedule(
+                    self._batch_max_delay, self._batch_delay_fired
+                )
+        else:
+            self._flush_batch("immediate")
+
+    def _batch_delay_fired(self) -> None:
+        self._batch_timer = None
+        self._flush_batch("delay")
+
+    def _flush_batch(self, trigger: str) -> None:
+        buffer = self._batch_buffer
+        if not buffer:
+            return
+        if self._batch_timer is not None:
+            self._batch_timer.cancel()
+            self._batch_timer = None
+        flushed = list(buffer)
+        buffer.clear()
+        by_trigger, commands_batched, occupancy = self._batch_counters()
+        by_trigger[trigger].value += 1
+        commands_batched.value += len(flushed)
+        occupancy.observe(len(flushed))
+        if len(flushed) == 1:
+            command, client_id = flushed[0]
+            self._lead_instance(command, client_id, command.request_id)
+            return
+        batch = CommandBatch(command for command, _ in flushed)
+        batch_clients = tuple(
+            (client_id, command.request_id) for command, client_id in flushed
+        )
+        self._lead_instance(batch, None, 0, batch_clients=batch_clients)
+
+    def _lead_instance(
+        self,
+        command: Command,
+        client_id: Optional[int],
+        request_id: int,
+        batch_clients: Optional[Tuple[Tuple[int, int], ...]] = None,
+    ) -> None:
         self._next_instance += 1
         instance_id: InstanceId = (self.node_id, self._next_instance)
         seq, deps = self._conflicts_for(command)
@@ -352,10 +470,11 @@ class EPaxosReplica(Replica):
             deps=deps,
             status=_PREACCEPTED,
             leader_here=True,
-            client_id=command.client_id if command.client_id >= 0 else src,
-            request_id=command.request_id,
+            client_id=client_id,
+            request_id=request_id,
             merged_seq=seq,
             merged_deps=deps,
+            batch_clients=batch_clients,
         )
         self.instances[instance_id] = instance
         self._record_key(command, instance_id)
@@ -945,8 +1064,8 @@ class EPaxosReplica(Replica):
         other replicas is not consulted; that residual corner is the
         documented TryPreAccept gap.
         """
-        key = getattr(reply.command, "key", None)
-        if key is None:
+        keys = self._keys_of(reply.command)
+        if not keys:
             return False
 
         def covered(deps: FrozenSet[InstanceId], target: InstanceId) -> bool:
@@ -965,13 +1084,21 @@ class EPaxosReplica(Replica):
         for other_id, other in self.instances.items():
             if other_id == instance_id or other.status not in (_COMMITTED, _EXECUTED):
                 continue
-            if getattr(other.command, "key", None) != key:
+            if keys.isdisjoint(self._keys_of(other.command)):
                 continue
             if not covered(reply.deps, other_id) and not covered(
                 graph.deps_of(other_id), instance_id
             ):
                 return True
         return False
+
+    @staticmethod
+    def _keys_of(command) -> FrozenSet[str]:
+        """The key set a command interferes on (empty for NoOp/None)."""
+        if type(command) is CommandBatch:
+            return frozenset(command.keys())
+        key = getattr(command, "key", None)
+        return frozenset() if key is None else frozenset((key,))
 
     def _recovery_preaccept(self, recovery: _Recovery, command: Command,
                             seq: int, deps: FrozenSet[InstanceId]) -> None:
@@ -1091,6 +1218,13 @@ class EPaxosReplica(Replica):
         identical, and the cached result lets the duplicate's leader still
         answer its client correctly.
         """
+        if type(command) is CommandBatch:
+            # Unpack in batch order on every replica, each sub-command
+            # through its own key's session cache below, so dedup decisions
+            # depend only on same-key conflict-ordered events exactly as for
+            # unbatched commands.  The result tuple feeds the per-command
+            # replies at the batch's leader.
+            return tuple(self._apply_command(sub) for sub in command.commands)
         try:
             client_id = command.client_id
             request_id = command.request_id
@@ -1118,11 +1252,37 @@ class EPaxosReplica(Replica):
         if instance is None or instance.status == _EXECUTED:
             return
         result = self._apply_command(instance.command)
-        self.ctx.charge_execution(1)
+        self.ctx.charge_execution(
+            len(instance.command) if type(instance.command) is CommandBatch else 1
+        )
         instance.status = _EXECUTED
         self.graph.mark_executed(instance_id)
         self.executed_order.append(instance_id)
         self.count("instances_executed")
+        if instance.leader_here and instance.batch_clients is not None:
+            if (
+                type(instance.command) is not CommandBatch
+                or len(instance.command) != len(instance.batch_clients)
+            ):
+                # A recovery decided this instance with something other than
+                # the batch we proposed (e.g. a dependency-preserving no-op
+                # after a partition).  Stay silent; every client retries.
+                self.count("orphaned_batch_replies_suppressed")
+                return
+            for (client_id, request_id), command, sub_result in zip(
+                instance.batch_clients, instance.command.commands, result
+            ):
+                if client_id is None or client_id < 0:
+                    continue
+                self.send(client_id, ClientReply(
+                    command_uid=command.uid,
+                    request_id=request_id,
+                    client_id=client_id,
+                    success=True,
+                    result=sub_result,
+                ))
+                self.count("client_replies")
+            return
         if instance.leader_here and instance.client_id is not None and not isinstance(instance.command, NoOp):
             reply = ClientReply(
                 command_uid=instance.command.uid,
@@ -1133,6 +1293,18 @@ class EPaxosReplica(Replica):
             )
             self.send(instance.client_id, reply)
             self.count("client_replies")
+
+    # ------------------------------------------------------------------ crash / recover
+    def on_crash(self) -> None:
+        # Instances/log/store model stable storage and survive; the batch
+        # buffer is leader-volatile state -- buffered commands were never
+        # proposed, so they are simply lost and their clients retry.
+        super().on_crash()
+        if self._batch_enabled:
+            self._batch_buffer.clear()
+            if self._batch_timer is not None:
+                self._batch_timer.cancel()
+                self._batch_timer = None
 
     # ------------------------------------------------------------------ introspection
     def status(self) -> Dict[str, object]:

@@ -150,6 +150,23 @@ def generate_scenario(seed: int, profile: FuzzProfile = DEFAULT_PROFILE) -> Scen
     if profile.max_shards > 1 and rng.random() < 0.35:
         shards = min(rng.randint(2, profile.max_shards), workload.num_keys)
 
+    # Batching dimension -- drawn last (after shards) for the same
+    # stability reason: every pre-batching fuzz seed keeps its recorded
+    # expansion of all earlier draws.  Paxos-family runs mix pipeline
+    # bounds and optional delay flushes; EPaxos always gets a delay bound
+    # (without one its batching degenerates to unbatched -- instances are
+    # not a pipeline, so only time creates batching windows there).  Every
+    # delay stays well under the smallest client_timeout above.
+    if rng.random() < 0.3:
+        config_overrides["batch_max_commands"] = rng.choice((2, 4, 8))
+        if protocol == "epaxos":
+            config_overrides["batch_max_delay"] = rng.choice((0.005, 0.02))
+        else:
+            if rng.random() < 0.6:
+                config_overrides["pipeline_depth"] = rng.choice((1, 2, 4))
+            if rng.random() < 0.4:
+                config_overrides["batch_max_delay"] = rng.choice((0.005, 0.02))
+
     return Scenario(
         name=f"fuzz-{seed}",
         protocol=protocol,

@@ -244,8 +244,20 @@ def _candidate_builders(scenario: Scenario):
             f"shards {scenario.shards} -> 1",
             replace(scenario, shards=1),
         )
-    # 5. Simpler config: drop overrides one at a time.
+    # 4c. Batching off: if the bug reproduces unbatched it is not a
+    #     batch/pipeline interaction.  All three knobs go together -- the
+    #     delay/pipeline knobs are invalid without batch_max_commands > 1,
+    #     so the one-at-a-time dropper below can never disable batching on
+    #     its own.
     overrides = dict(scenario.config_overrides or {})
+    batch_keys = {"batch_max_commands", "batch_max_delay", "pipeline_depth"}
+    if batch_keys & set(overrides):
+        rest = {k: v for k, v in overrides.items() if k not in batch_keys}
+        yield lambda rest=rest: (
+            "batching -> off",
+            replace(scenario, config_overrides=rest or None),
+        )
+    # 5. Simpler config: drop overrides one at a time.
     for key in sorted(overrides):
         rest = {k: v for k, v in overrides.items() if k != key}
         yield lambda key=key, rest=rest: (

@@ -38,6 +38,7 @@ REPLICA_COUNTERS: FrozenSet[str] = frozenset(
         "client_replies",
         "duplicate_commands_skipped",
         "orphaned_proposal_replies_suppressed",
+        "orphaned_batch_replies_suppressed",
         "fill_requests",
         "leader_fill_requests",
         "leader_fill_retries",
@@ -105,6 +106,14 @@ METRIC_NAMES: FrozenSet[str] = frozenset(
         # --- workload clients (workload/client.py)
         "client.latency",
         "client.completions",
+        # --- leader-side batching (protocol/base.py, build_batch_metrics)
+        "batch.flush.size",
+        "batch.flush.delay",
+        "batch.flush.pipeline",
+        "batch.flush.conflict",
+        "batch.flush.immediate",
+        "batch.commands_batched",
+        "batch.occupancy",
         # --- asyncio runtime (runtime/server.py)
         "runtime.executed_commands",
         "runtime.graph_vertices",

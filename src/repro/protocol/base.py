@@ -66,6 +66,29 @@ class NodeContext(Protocol):
         ...
 
 
+def build_batch_metrics(metrics: MetricsRegistry):
+    """Resolve the shared ``batch.*`` instruments once per batching replica.
+
+    Returns ``(flush_counters_by_trigger, commands_batched, occupancy)``.
+    Only called by replicas with batching enabled
+    (``ProtocolConfig.batch_max_commands > 1``), so unbatched runs never
+    register these names and their metric snapshots stay unchanged.  The
+    Paxos family uses the size/delay/pipeline/immediate triggers; EPaxos
+    uses size/delay/conflict/immediate (see the replicas for the rules).
+    """
+    return (
+        {
+            "size": metrics.counter("batch.flush.size"),
+            "delay": metrics.counter("batch.flush.delay"),
+            "pipeline": metrics.counter("batch.flush.pipeline"),
+            "conflict": metrics.counter("batch.flush.conflict"),
+            "immediate": metrics.counter("batch.flush.immediate"),
+        },
+        metrics.counter("batch.commands_batched"),
+        metrics.histogram("batch.occupancy"),
+    )
+
+
 class Replica(ABC):
     """Base class for protocol replicas.
 

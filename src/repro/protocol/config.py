@@ -62,6 +62,28 @@ class ProtocolConfig:
             -- direct broadcast for Multi-Paxos and EPaxos).  PigPaxos *is*
             the relay overlay and configures it through
             :class:`~repro.core.config.PigPaxosConfig` instead.
+        batch_max_commands: Leader-side command batching -- how many client
+            commands a leader may pack into one consensus slot (Paxos
+            family) or one instance (EPaxos).  The default of 1 disables
+            batching entirely: no buffer, no timers, no extra events, so
+            every recorded fingerprint is byte-identical.  Values > 1 let
+            the leader accumulate commands into a pending buffer and flush
+            a :class:`~repro.statemachine.command.CommandBatch` when the
+            buffer fills (see :data:`batch_max_delay` for the time bound).
+        batch_max_delay: Upper bound (virtual seconds) a buffered command
+            may wait before its batch is flushed regardless of occupancy.
+            ``None`` (default) means no delay flush: with batching enabled
+            a partial buffer then flushes only when the pipeline frees or
+            the buffer fills.  Must stay well under the client timeout or
+            delayed flushes answer already-retried requests (the session
+            dedup window still makes that safe, just wasteful).  Only
+            takes effect when ``batch_max_commands > 1``.
+        pipeline_depth: Bound on concurrently in-flight (proposed but not
+            yet committed) slots at a batching Paxos-family leader.  While
+            the pipeline is full, new commands buffer past the size
+            trigger and flush as soon as a slot commits.  ``None``
+            (default) leaves the pipeline unbounded, the historical
+            behaviour.  EPaxos ignores it (instances are not a pipeline).
     """
 
     heartbeat_interval: float = 0.05
@@ -74,6 +96,9 @@ class ProtocolConfig:
     recovery_timeout: Optional[float] = DEFAULT_RECOVERY_TIMEOUT
     leader_retry_timeout: Optional[float] = None
     overlay: Optional[Union[OverlayConfig, str, dict]] = None
+    batch_max_commands: int = 1
+    batch_max_delay: Optional[float] = None
+    pipeline_depth: Optional[int] = None
 
     def __post_init__(self) -> None:
         self.overlay = OverlayConfig.coerce(self.overlay)
@@ -90,4 +115,16 @@ class ProtocolConfig:
         if self.election_timeout_min <= self.heartbeat_interval:
             raise ConfigurationError(
                 "election_timeout_min must exceed heartbeat_interval or leaders will be deposed spuriously"
+            )
+        if self.batch_max_commands < 1:
+            raise ConfigurationError("batch_max_commands must be >= 1 (1 disables batching)")
+        if self.batch_max_delay is not None and self.batch_max_delay <= 0:
+            raise ConfigurationError("batch_max_delay must be positive (or None to disable)")
+        if self.pipeline_depth is not None and self.pipeline_depth < 1:
+            raise ConfigurationError("pipeline_depth must be >= 1 (or None for unbounded)")
+        if self.batch_max_commands == 1 and (
+            self.batch_max_delay is not None or self.pipeline_depth is not None
+        ):
+            raise ConfigurationError(
+                "batch_max_delay / pipeline_depth require batch_max_commands > 1"
             )

@@ -487,6 +487,48 @@ def _scenarios() -> List[Scenario]:
             min_completed=740,  # seed completes 2225
             description="Paper-scale 25-node Multi-Paxos control run (Fig. 8 baseline): the leader touches 2(N-1) messages per op.",
         ),
+        # ------------------------------------------------- batching & pipelining
+        # Batched twins of hot scenarios: identical cluster shape and seed,
+        # plus the PR-9 batching knobs.  Their unbatched originals stay
+        # byte-identical (batching defaults off); these cells pin the
+        # batched code path's own determinism and its liveness floor.
+        Scenario(
+            name="paxos-throughput-25-batched",
+            protocol="paxos",
+            num_nodes=25,
+            num_clients=6,
+            duration=1.0,
+            seed=7,
+            checks=PAXOS_CHECK_NAMES + ("progress",),
+            min_completed=1050,  # seed completes 3179
+            config_overrides={"batch_max_commands": 8, "pipeline_depth": 2},
+            description="Batched twin of paxos-throughput-25: pipeline back-pressure packs up to 8 commands per slot, amortising the leader's 2(N-1) messages per op.",
+        ),
+        Scenario(
+            name="pig-batched-5",
+            protocol="pigpaxos",
+            num_nodes=5,
+            relay_groups=2,
+            num_clients=4,
+            duration=1.5,
+            seed=11,
+            checks=PAXOS_CHECK_NAMES + ("progress",),
+            min_completed=1080,  # seed completes 3248
+            config_overrides={"batch_max_commands": 4, "pipeline_depth": 2},
+            description="Batched twin of pig-baseline-5: command batches ride the relay trees unsplit, one RelayRequest per slot.",
+        ),
+        Scenario(
+            name="epaxos-batched-5",
+            protocol="epaxos",
+            num_nodes=5,
+            num_clients=6,
+            duration=1.5,
+            seed=11,
+            checks=EPAXOS_CHECK_NAMES + ("progress",),
+            min_completed=245,  # seed completes 746
+            config_overrides={"batch_max_commands": 4, "batch_max_delay": 0.01},
+            description="EPaxos delay batching: each opportunistic leader holds non-conflicting commands up to 10 ms and leads them as one instance.",
+        ),
         Scenario(
             name="epaxos-relay-wan-25",
             protocol="epaxos",
@@ -656,6 +698,25 @@ def _scenarios() -> List[Scenario]:
             description="Zipfian skew concentrates load on shard 0 (the hot group); per-shard counters expose the imbalance.",
         ),
         Scenario(
+            name="sharded-hot-shard-zipf-batched",
+            protocol="epaxos",
+            num_nodes=5,
+            num_clients=6,
+            duration=1.2,
+            seed=7,
+            shards=4,
+            workload=WorkloadSpec(
+                num_keys=25,
+                read_ratio=0.5,
+                distribution="zipfian",
+                unique_values=True,
+            ),
+            checks=EPAXOS_CHECK_NAMES + ("progress",),
+            min_completed=190,  # seed completes 578
+            config_overrides={"batch_max_commands": 4, "batch_max_delay": 0.01},
+            description="Batched twin of sharded-hot-shard-zipf: delay batching on every group coalesces the hot shard's zipf-concentrated load.",
+        ),
+        Scenario(
             name="epaxos-sharded-relay-wan-9",
             protocol="epaxos",
             num_nodes=9,
@@ -732,6 +793,10 @@ SMOKE_SCENARIOS = (
     "epaxos-relay-wan-25",
     "epaxos-recovery-crash",
     "epaxos-relay-recovery-25",
+    # One batched cell per protocol so a batching regression fails fast.
+    "paxos-throughput-25-batched",
+    "pig-batched-5",
+    "epaxos-batched-5",
 )
 
 
@@ -747,5 +812,6 @@ SHARDED_SMOKE_SCENARIOS = (
     "sharded-crash-shard-leader",
     "sharded-partition-straddle",
     "sharded-hot-shard-zipf",
+    "sharded-hot-shard-zipf-batched",
     "epaxos-sharded-relay-wan-9",
 )

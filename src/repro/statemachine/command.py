@@ -97,8 +97,10 @@ class Command:
             return key_bytes
         return key_bytes + self.payload_size
 
-    def conflicts_with(self, other: "Command") -> bool:
+    def conflicts_with(self, other) -> bool:
         """EPaxos-style conflict: same key and at least one of them writes."""
+        if type(other) is CommandBatch:
+            return other.conflicts_with(self)
         if self.key != other.key:
             return False
         return self.is_write or other.is_write
@@ -126,6 +128,74 @@ class CommandResult:
 
     def payload_bytes(self) -> int:
         return len(self.value.encode("utf-8")) if self.value else 0
+
+
+class CommandBatch:
+    """An ordered group of client commands occupying one slot / instance.
+
+    Built by a batching leader (``ProtocolConfig.batch_max_commands > 1``)
+    and carried through the replication path as a single command: one
+    ``P2a``/``EPreAccept``/``RelayRequest`` ships the whole batch, so the
+    per-message wire header (``SizeModel.header_bytes``) and the per-message
+    CPU charge are amortised over every command inside.  Execution unpacks
+    the batch in order on every replica, applying each sub-command through
+    the normal per-client session dedup, so at-most-once semantics and the
+    linearizability checker see exactly the per-command histories they
+    always did.
+
+    Deliberately has **no** ``client_id`` / ``request_id`` / ``key``
+    attributes: the per-command bookkeeping paths in the replicas detect
+    plain commands via those attributes (``try/except AttributeError`` and
+    ``getattr(..., None)``) and take the explicit batch-unpacking branch
+    for this type instead.  Like :class:`Command`, a batch is immutable by
+    convention and compared by ``uid``.
+
+    Attributes:
+        commands: The batched commands, in client-arrival order.
+        uid: Globally unique id (same counter as :class:`Command`), used by
+            the log agreement checks exactly like a plain command's uid.
+    """
+
+    __slots__ = ("commands", "uid")
+
+    def __init__(self, commands, uid: Optional[int] = None) -> None:
+        self.commands = tuple(commands)
+        if not self.commands:
+            raise ValueError("a CommandBatch needs at least one command")
+        self.uid = next(_command_uids) if uid is None else uid
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CommandBatch(n={len(self.commands)} uid={self.uid})"
+
+    def __len__(self) -> int:
+        return len(self.commands)
+
+    @property
+    def is_read(self) -> bool:
+        """True only when every sub-command is a read."""
+        return all(command.is_read for command in self.commands)
+
+    @property
+    def is_write(self) -> bool:
+        return any(command.is_write for command in self.commands)
+
+    def keys(self):
+        """Distinct keys touched, in first-occurrence order (EPaxos deps)."""
+        seen = []
+        for command in self.commands:
+            if command.key not in seen:
+                seen.append(command.key)
+        return tuple(seen)
+
+    def payload_bytes(self) -> int:
+        """Summed sub-command payloads; the shared header is priced once."""
+        return sum(command.payload_bytes() for command in self.commands)
+
+    def conflicts_with(self, other) -> bool:
+        """A batch conflicts when any of its commands does."""
+        if type(other) is CommandBatch:
+            return any(self.conflicts_with(sub) for sub in other.commands)
+        return any(sub.conflicts_with(other) for sub in self.commands)
 
 
 class NoOp:

@@ -63,6 +63,16 @@ GOLDEN_FINGERPRINTS = {
     # zero determinism tax (no extra RNG draws, no reordered events).
     "paxos-sharded-4": "2d696109ea25503fa0e2cc4ecdd8048bd65dc0f3aa77e9230a05cb0ad99988a2",
     "epaxos-sharded-4": "49e235b42e538c3547b717d0f1839e9724435eb0d385337e204b2a3cbfefa750",
+    # Batching tripwires (recorded at the batching/pipelining PR): one per
+    # protocol family, each the batched twin of an existing scenario.
+    # Every *unbatched* fingerprint above must stay byte-identical --
+    # batching defaults off (batch_max_commands=1) and the disabled path
+    # allocates no buffers, arms no timers and registers no metrics, so
+    # these pins plus the unchanged controls prove the default pays zero
+    # determinism tax.
+    "paxos-throughput-25-batched": "63dfd0b15bc8eb04806778ee6004692fdc636f7c85d619018c199b9843bb43d8",
+    "pig-batched-5": "e431511b87bd8e746c610fd65a622a45811f498368a90fb1af05e2400a8c5f77",
+    "epaxos-batched-5": "3960d2bbebd11f1f491080de748b079307ca9d7f6f53e2e8659fb6fb2078d406",
 }
 
 
