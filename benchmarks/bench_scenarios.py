@@ -526,6 +526,130 @@ def test_batching_frontier_sweep(benchmark):
     assert by_cell[(1, light)]["latency_p50_ms"] is not None
 
 
+# ---------------------------------------------------------------------------
+# Bottleneck-vs-N curve (planet hierarchy, direct vs one- and two-level trees)
+
+#: Cluster sizes of the curve -- perfect squares so the sqrt-sized relay
+#: trees stay balanced, spanning LAN scale (9) to planet scale (81).
+BOTTLENECK_CURVE_SIZES = (9, 25, 49, 81)
+
+#: Fan-out variants: plain Multi-Paxos broadcasts direct; PigPaxos routes
+#: through zone-aligned relay trees, one or two levels deep.
+BOTTLENECK_CURVE_VARIANTS = ("direct", "relay-1", "relay-2")
+
+
+def _bottleneck_scenario(variant: str, num_nodes: int) -> Scenario:
+    """One fault-free cell: the same planet deployment, varying fan-out.
+
+    Every cell runs on the 3-region x 3-zone planet topology so the relay
+    variants get real hierarchy to align with and the direct control pays
+    the same WAN latencies; only the fan-out strategy varies.
+    """
+    common = dict(
+        num_nodes=num_nodes,
+        hierarchy=(3, 3),
+        num_clients=8,
+        duration=1.5,
+        seed=11,
+        client_timeout=1.0,
+        checks=("linearizability", "log_invariants"),
+        description="bottleneck curve cell",
+    )
+    if variant == "direct":
+        return Scenario(name=f"bottleneck-direct-{num_nodes}", protocol="paxos", **common)
+    levels = int(variant.rsplit("-", 1)[1])
+    return Scenario(
+        name=f"bottleneck-{variant}-{num_nodes}",
+        protocol="pigpaxos",
+        use_region_groups=True,
+        config_overrides={"relay_levels": levels},
+        **common,
+    )
+
+
+def _run_bottleneck_curve():
+    records = []
+    for variant in BOTTLENECK_CURVE_VARIANTS:
+        for num_nodes in BOTTLENECK_CURVE_SIZES:
+            result = run_scenario(_bottleneck_scenario(variant, num_nodes))
+            counters = result.counters()
+            node, hot = bottleneck_node(counters)
+            completed = max(result.completed_requests, 1)
+            records.append(
+                {
+                    "variant": variant,
+                    "nodes": num_nodes,
+                    "completed": result.completed_requests,
+                    "ops_per_sec": round(result.completed_requests / result.scenario.duration, 1),
+                    "bottleneck_node": node,
+                    "bottleneck_messages": int(hot.get("messages_total", 0)),
+                    "bottleneck_msgs_per_op": round(hot.get("messages_total", 0) / completed, 2),
+                    "bottleneck_bytes_per_op": round(hot.get("bytes_total", 0) / completed, 1),
+                    "region_cross_messages": int(counters.get("region.cross_messages", 0)),
+                    "zone_cross_messages": int(counters.get("zone.cross_messages", 0)),
+                    "total_messages": int(counters.get("net.messages_sent", 0)),
+                    "violations": len(result.violations),
+                    "ok": result.ok,
+                }
+            )
+    return records
+
+
+@pytest.mark.benchmark(group="scenarios")
+def test_bottleneck_vs_cluster_size_curve(benchmark):
+    records = benchmark.pedantic(_run_bottleneck_curve, rounds=1, iterations=1)
+
+    rows = [
+        (
+            r["variant"],
+            r["nodes"],
+            f"{r['ops_per_sec']:.0f}",
+            r["bottleneck_node"],
+            r["bottleneck_msgs_per_op"],
+            r["bottleneck_bytes_per_op"],
+            "OK" if r["ok"] else f"{r['violations']} VIOLATIONS",
+        )
+        for r in records
+    ]
+    lines = comparison_table(
+        ["fan-out", "nodes", "ops/s", "hot node", "hot msgs/op", "hot bytes/op", "checkers"],
+        rows,
+    )
+    report(
+        "bottleneck_vs_n",
+        "Bottleneck-node messages vs cluster size -- planet hierarchy, direct vs relay trees",
+        lines,
+    )
+    _merge_into_json("bottleneck_vs_n", records)
+
+    by_cell = {(r["variant"], r["nodes"]): r for r in records}
+    assert all(r["ok"] for r in records), [
+        (r["variant"], r["nodes"], r["violations"]) for r in records
+    ]
+    # The paper's scaling argument, measured: direct fan-out's per-op
+    # message count at the leader grows roughly linearly with N, while the
+    # relay trees keep it near-flat (the leader only ever talks to its
+    # relays).  Compare the 9 -> 81 growth factors: direct must at least
+    # quintuple; each tree variant must grow by well under half of
+    # direct's factor, and at 81 nodes must undercut direct outright.
+    small, large = BOTTLENECK_CURVE_SIZES[0], BOTTLENECK_CURVE_SIZES[-1]
+    direct_growth = (
+        by_cell[("direct", large)]["bottleneck_msgs_per_op"]
+        / by_cell[("direct", small)]["bottleneck_msgs_per_op"]
+    )
+    assert direct_growth >= 5.0, direct_growth
+    for variant in ("relay-1", "relay-2"):
+        growth = (
+            by_cell[(variant, large)]["bottleneck_msgs_per_op"]
+            / by_cell[(variant, small)]["bottleneck_msgs_per_op"]
+        )
+        assert growth <= 0.5 * direct_growth, (variant, growth, direct_growth)
+        assert (
+            by_cell[(variant, large)]["bottleneck_msgs_per_op"]
+            < by_cell[("direct", large)]["bottleneck_msgs_per_op"]
+        ), variant
+
+
 def main(argv=None) -> int:
     """Report-only quick frontier tier for CI's perf job.
 

@@ -10,7 +10,14 @@ analytically in its Section 6.
 
 from repro.cluster.cpu import NodeCPUModel
 from repro.cluster.node import SimNode
-from repro.cluster.topologies import lan_topology, wan_topology, paper_wan_regions
+from repro.cluster.topologies import (
+    lan_topology,
+    wan_topology,
+    paper_wan_regions,
+    hierarchical_topology,
+    planet_topology,
+    planet_zone_layout,
+)
 from repro.cluster.faults import FaultEvent, FaultSchedule
 from repro.cluster.builder import Cluster, ClusterBuilder, build_cluster
 
@@ -20,6 +27,9 @@ __all__ = [
     "lan_topology",
     "wan_topology",
     "paper_wan_regions",
+    "hierarchical_topology",
+    "planet_topology",
+    "planet_zone_layout",
     "FaultEvent",
     "FaultSchedule",
     "Cluster",

@@ -407,6 +407,7 @@ class ClusterBuilder:
         router: Optional[ShardRouter] = None
         if num_shards > 1:
             region_map = topology.region_map()
+            zone_map = topology.zone_map()
             groups: List[Sequence[int]] = [tuple(node_ids)]
             for shard in range(1, num_shards):
                 members = tuple(shard_endpoint(shard, n) for n in node_ids)
@@ -414,6 +415,11 @@ class ClusterBuilder:
                     shard_endpoint(shard, n): region_map[n]
                     for n in node_ids
                     if n in region_map
+                }
+                shard_zones = {
+                    shard_endpoint(shard, n): zone_map[n]
+                    for n in node_ids
+                    if n in zone_map
                 }
                 for node_id in node_ids:
                     instance = ShardReplicaHost(
@@ -424,6 +430,7 @@ class ClusterBuilder:
                             topology,
                             initial_leader=leaders[shard],
                             region_of=shard_regions,
+                            zone_of=shard_zones,
                         )
                     )
                     nodes[node_id].add_shard_sibling(instance)
@@ -528,16 +535,18 @@ class ClusterBuilder:
         topology: Topology,
         initial_leader: Optional[int] = None,
         region_of: Optional[Dict[int, str]] = None,
+        zone_of: Optional[Dict[int, str]] = None,
     ):
         """Construct one replica instance.
 
-        ``initial_leader`` and ``region_of`` are the sharding hooks: a
-        sharded build passes each group's round-robin leader endpoint and a
-        region map re-keyed to the group's endpoint ids.  ``None`` (the
-        unsharded path) preserves the historical behaviour exactly,
-        including the shared-config-object semantics.
+        ``initial_leader``, ``region_of`` and ``zone_of`` are the sharding
+        hooks: a sharded build passes each group's round-robin leader
+        endpoint and region/zone maps re-keyed to the group's endpoint ids.
+        ``None`` (the unsharded path) preserves the historical behaviour
+        exactly, including the shared-config-object semantics.
         """
         regions = region_of if region_of is not None else topology.region_map()
+        zones = zone_of if zone_of is not None else topology.zone_map()
         if self._protocol == "paxos":
             config = self._protocol_config or ProtocolConfig()
             overlay_config = self._resolve_overlay_config(config)
@@ -577,14 +586,14 @@ class ClusterBuilder:
                 config.use_region_groups = True
             if initial_leader is not None:
                 config = replace(config, initial_leader=initial_leader)
-            return PigPaxosReplica(config=config, region_of=regions)
+            return PigPaxosReplica(config=config, region_of=regions, zone_of=zones)
         if self._protocol == "epaxos":
             # EPaxos is leaderless: ``initial_leader`` is deliberately
             # ignored (sharded groups balance through the clients'
             # random-target policy instead).
             config = self._protocol_config
             overlay_config = self._resolve_overlay_config(config)
-            overlay = build_overlay(overlay_config, region_of=regions)
+            overlay = build_overlay(overlay_config, region_of=regions, zone_of=zones)
             if config is None:
                 return EPaxosReplica(overlay=overlay)
             # EPaxos consumes only the shared session_window, overlay,

@@ -1,19 +1,23 @@
-"""Topology presets matching the paper's deployments.
+"""Topology presets matching (and extrapolating) the paper's deployments.
 
 * :func:`lan_topology` -- a single datacenter/availability zone, used by the
   5/9/25-node experiments (Figures 7, 8, 10, 11, 12, 13).
 * :func:`wan_topology` -- nodes spread over named regions with a
   region-to-region latency matrix, used by the 15-node Virginia/California/
   Oregon experiment (Figure 9).
+* :func:`hierarchical_topology` / :func:`planet_topology` -- planet-scale
+  region -> zone -> node layouts (50/75/100 nodes and the 9..81-node
+  scaling curve) that go beyond the paper's 25-node ceiling.  The latency
+  ordering is hierarchical: intra-zone < intra-region < cross-region.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 from repro.net.latency import DEFAULT_WAN_MATRIX, NormalLatency, WANMatrixLatency
-from repro.net.topology import Region, Topology
+from repro.net.topology import Region, Topology, Zone
 
 #: The three AWS regions used in the paper's WAN experiment (Figure 9).
 PAPER_WAN_REGION_NAMES = ("virginia", "california", "oregon")
@@ -81,4 +85,150 @@ def wan_topology(
         latency=latency,
         bandwidth_bytes_per_sec=bandwidth_bytes_per_sec,
         regions=regions,
+    )
+
+
+# --------------------------------------------------------------------------
+# Planet-scale hierarchical layouts (region -> zone -> node)
+# --------------------------------------------------------------------------
+
+#: Region roster for the planet-scale layouts: the paper's three US regions
+#: plus Frankfurt and Tokyo, so 50/75/100-node clusters span real WAN
+#: distances instead of piling more nodes into three datacenters.
+PLANET_REGION_NAMES = ("virginia", "california", "oregon", "frankfurt", "tokyo")
+
+#: One-way latencies (seconds) between the planet regions; intra-region
+#: entries are the *cross-zone* latency inside one region (two availability
+#: zones of the same region, ~1.5 ms one-way).  Same-zone links are cheaper
+#: still (``PLANET_ZONE_ONE_WAY``).  Cross-region values extend the paper's
+#: matrix with publicly reported RTTs divided by two.
+PLANET_INTRA_REGION_ONE_WAY = 0.0015
+PLANET_ZONE_ONE_WAY = 0.0001
+PLANET_WAN_MATRIX: Dict[Tuple[str, str], float] = {
+    ("virginia", "virginia"): PLANET_INTRA_REGION_ONE_WAY,
+    ("california", "california"): PLANET_INTRA_REGION_ONE_WAY,
+    ("oregon", "oregon"): PLANET_INTRA_REGION_ONE_WAY,
+    ("frankfurt", "frankfurt"): PLANET_INTRA_REGION_ONE_WAY,
+    ("tokyo", "tokyo"): PLANET_INTRA_REGION_ONE_WAY,
+    ("virginia", "california"): 0.031,
+    ("virginia", "oregon"): 0.034,
+    ("california", "oregon"): 0.010,
+    ("virginia", "frankfurt"): 0.044,
+    ("california", "frankfurt"): 0.073,
+    ("oregon", "frankfurt"): 0.079,
+    ("virginia", "tokyo"): 0.083,
+    ("california", "tokyo"): 0.055,
+    ("oregon", "tokyo"): 0.049,
+    ("frankfurt", "tokyo"): 0.118,
+}
+
+
+def hierarchical_topology(
+    region_zone_nodes: Mapping[str, Mapping[str, Sequence[int]]],
+    matrix: Optional[Dict] = None,
+    intra_region_one_way: float = PLANET_INTRA_REGION_ONE_WAY,
+    zone_one_way: float = PLANET_ZONE_ONE_WAY,
+    bandwidth_bytes_per_sec: Optional[float] = 1.25e9,
+) -> Topology:
+    """A region -> zone -> node topology from an explicit placement map.
+
+    ``region_zone_nodes`` maps region name -> zone name -> node ids.  The
+    latency model is three-tier: nodes sharing a zone see ``zone_one_way``,
+    nodes sharing only a region see ``intra_region_one_way`` (via the
+    matrix diagonal), and cross-region pairs use the matrix.
+    """
+    node_region: Dict[int, str] = {}
+    node_zone: Dict[int, str] = {}
+    regions: List[Region] = []
+    all_nodes: List[int] = []
+    # lint: ok(no-unordered-iteration) region/zone order is the caller's declared layout; sorting would scramble it
+    for region_name, zones in region_zone_nodes.items():
+        region_nodes: List[int] = []
+        zone_objs: List[Zone] = []
+        # lint: ok(no-unordered-iteration) region/zone order is the caller's declared layout; sorting would scramble it
+        for zone_name, nodes in zones.items():
+            nodes = list(nodes)
+            if not nodes:
+                continue
+            zone_objs.append(Zone(name=zone_name, nodes=tuple(nodes)))
+            region_nodes.extend(nodes)
+            for node in nodes:
+                node_zone[node] = zone_name
+        if not region_nodes:
+            continue
+        regions.append(
+            Region(name=region_name, nodes=tuple(region_nodes), zones=tuple(zone_objs))
+        )
+        all_nodes.extend(region_nodes)
+        for node in region_nodes:
+            node_region[node] = region_name
+    if not all_nodes:
+        raise ConfigurationError("hierarchical topology has no nodes")
+    full_matrix = dict(matrix) if matrix is not None else dict(PLANET_WAN_MATRIX)
+    for name in region_zone_nodes:
+        full_matrix.setdefault((name, name), intra_region_one_way)
+    latency = WANMatrixLatency(
+        node_region=node_region,
+        matrix=full_matrix,
+        local_one_way=intra_region_one_way,
+        node_zone=node_zone,
+        zone_one_way=zone_one_way,
+    )
+    return Topology(
+        node_ids=sorted(all_nodes),
+        latency=latency,
+        bandwidth_bytes_per_sec=bandwidth_bytes_per_sec,
+        regions=regions,
+    )
+
+
+def planet_zone_layout(
+    num_nodes: int, num_regions: int = 3, zones_per_region: int = 3
+) -> Dict[str, Dict[str, List[int]]]:
+    """Deal ``num_nodes`` into a balanced region -> zone -> node placement.
+
+    Nodes go round-robin across regions (matching :func:`paper_wan_regions`,
+    so a planet layout restricted to three one-zone regions degenerates to
+    the paper's WAN layout), then round-robin across the zones within each
+    region.  Zone names are globally unique (``virginia-z0`` ...).
+    """
+    if not 1 <= num_regions <= len(PLANET_REGION_NAMES):
+        raise ConfigurationError(
+            f"num_regions must be in 1..{len(PLANET_REGION_NAMES)}, got {num_regions}"
+        )
+    if zones_per_region < 1:
+        raise ConfigurationError("zones_per_region must be >= 1")
+    if num_nodes < 1:
+        raise ConfigurationError("num_nodes must be >= 1")
+    names = PLANET_REGION_NAMES[:num_regions]
+    layout: Dict[str, Dict[str, List[int]]] = {
+        name: {f"{name}-z{z}": [] for z in range(zones_per_region)} for name in names
+    }
+    for node in range(num_nodes):
+        region = names[node % num_regions]
+        position = node // num_regions
+        zone = f"{region}-z{position % zones_per_region}"
+        layout[region][zone].append(node)
+    return layout
+
+
+def planet_topology(
+    num_nodes: int,
+    num_regions: int = 3,
+    zones_per_region: int = 3,
+    matrix: Optional[Dict] = None,
+    bandwidth_bytes_per_sec: Optional[float] = 1.25e9,
+) -> Topology:
+    """A planet-scale hierarchical topology for 50/75/100-node experiments.
+
+    The default three-region/three-zone shape carries the 9..81-node
+    bottleneck scaling curve; pass ``num_regions=5`` for the full planet
+    roster (e.g. ``planet_topology(50, num_regions=5)``,
+    ``planet_topology(75, num_regions=5)``, ``planet_topology(100,
+    num_regions=5)``).
+    """
+    return hierarchical_topology(
+        planet_zone_layout(num_nodes, num_regions, zones_per_region),
+        matrix=matrix,
+        bandwidth_bytes_per_sec=bandwidth_bytes_per_sec,
     )

@@ -7,6 +7,7 @@ imports of ``repro.core.groups`` keep working through this shim.
 """
 
 from repro.overlay.groups import (
+    HierarchicalGroupPlan,
     RelayGroupPlan,
     contiguous_groups,
     hash_groups,
@@ -15,6 +16,7 @@ from repro.overlay.groups import (
 )
 
 __all__ = [
+    "HierarchicalGroupPlan",
     "RelayGroupPlan",
     "contiguous_groups",
     "hash_groups",

@@ -39,12 +39,14 @@ class PigPaxosReplica(MultiPaxosReplica):
         config: Optional[PigPaxosConfig] = None,
         quorum: Optional[QuorumSystem] = None,
         region_of: Optional[Dict[int, str]] = None,
+        zone_of: Optional[Dict[int, str]] = None,
     ) -> None:
         cfg = config or PigPaxosConfig()
         overlay = RelayFanout(
             num_groups=cfg.num_relay_groups,
             use_region_groups=cfg.use_region_groups,
             region_of=region_of,
+            zone_of=zone_of,
             relay_timeout=cfg.relay_timeout,
             timeout_decay=cfg.relay_timeout_decay,
             response_threshold=cfg.group_response_threshold,

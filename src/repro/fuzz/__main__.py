@@ -140,12 +140,20 @@ def main(argv=None) -> int:
                         help="with --fleet: write finding-<seed>.md + report.json")
     parser.add_argument("--protocols", default=None,
                         help="comma-separated protocol subset, e.g. 'epaxos'")
+    parser.add_argument("--hierarchy-probability", type=float, default=None,
+                        metavar="P",
+                        help="override the planet-hierarchy redeploy "
+                             "probability (0 disables the dimension)")
     args = parser.parse_args(argv)
 
     profile = DEFAULT_PROFILE
     if args.protocols:
         profile = replace(
             profile, protocols=tuple(args.protocols.split(","))
+        )
+    if args.hierarchy_probability is not None:
+        profile = replace(
+            profile, hierarchy_probability=args.hierarchy_probability
         )
     if args.parallel == 0:
         from repro.scenarios.sweep import default_workers

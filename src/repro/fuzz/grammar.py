@@ -63,6 +63,11 @@ class FuzzProfile:
     #: Upper bound on co-hosted consensus groups (1 disables the sharding
     #: dimension entirely -- e.g. for replaying pre-sharding findings).
     max_shards: int = 8
+    #: Probability a LAN run redeploys onto a region/zone planet hierarchy
+    #: (0 disables the dimension -- e.g. for replaying pre-hierarchy
+    #: findings).  WAN runs never redeploy; the two topologies are
+    #: mutually exclusive in the spec.
+    hierarchy_probability: float = 0.15
 
     def __post_init__(self) -> None:
         if not self.protocols:
@@ -76,6 +81,8 @@ class FuzzProfile:
             raise ConfigurationError("profile needs at least one duration")
         if self.max_shards < 1:
             raise ConfigurationError("max_shards must be >= 1")
+        if not 0.0 <= self.hierarchy_probability <= 1.0:
+            raise ConfigurationError("hierarchy_probability must be in [0, 1]")
 
 
 DEFAULT_PROFILE = FuzzProfile()
@@ -167,6 +174,30 @@ def generate_scenario(seed: int, profile: FuzzProfile = DEFAULT_PROFILE) -> Scen
             if rng.random() < 0.4:
                 config_overrides["batch_max_delay"] = rng.choice((0.005, 0.02))
 
+    # Hierarchy dimension -- drawn last (after batching), again so every
+    # earlier fuzz seed keeps its recorded expansion.  A LAN run sometimes
+    # redeploys onto a region/zone planet topology (WAN runs never do: the
+    # spec makes the two mutually exclusive), and half of those redeploys
+    # also align the fan-out with the hierarchy -- zone-aware relay trees,
+    # sometimes two levels deep with the hop-by-hop commit fallback on.
+    hierarchy: Optional[Tuple[int, int]] = None
+    if not wan and rng.random() < profile.hierarchy_probability:
+        hierarchy = (min(rng.choice((2, 3)), num_nodes), rng.choice((2, 3)))
+        if protocol != "paxos" and rng.random() < 0.5:
+            relay_levels = rng.choice((1, 2))
+            if protocol == "pigpaxos":
+                relay_groups = None
+                use_region_groups = True
+                config_overrides["relay_levels"] = relay_levels
+            else:
+                overlay = {"kind": "relay", "use_region_groups": True,
+                           "relay_levels": relay_levels}
+                if rng.random() < 0.5:
+                    overlay["commit_fallback_timeout"] = rng.choice((0.1, 0.25))
+                if rng.random() < 0.3:
+                    overlay["fixed_relays"] = True
+                config_overrides["overlay"] = overlay
+
     return Scenario(
         name=f"fuzz-{seed}",
         protocol=protocol,
@@ -176,6 +207,7 @@ def generate_scenario(seed: int, profile: FuzzProfile = DEFAULT_PROFILE) -> Scen
         seed=seed,
         relay_groups=relay_groups,
         wan=wan,
+        hierarchy=hierarchy,
         use_region_groups=use_region_groups,
         workload=workload,
         client_timeout=client_timeout,

@@ -93,6 +93,11 @@ def _remap_for_nodes(scenario: Scenario, num_nodes: int) -> Scenario:
     relay_groups = scenario.relay_groups
     if relay_groups is not None:
         relay_groups = _clamped_groups(relay_groups, num_nodes)
+    hierarchy = scenario.hierarchy
+    if hierarchy is not None and hierarchy[0] > num_nodes:
+        # The spec rejects more regions than nodes; shrink the region
+        # count alongside the cluster.
+        hierarchy = (num_nodes, hierarchy[1])
     overrides = dict(scenario.config_overrides or {})
     overlay = overrides.get("overlay")
     if isinstance(overlay, dict) and "num_groups" in overlay:
@@ -104,6 +109,7 @@ def _remap_for_nodes(scenario: Scenario, num_nodes: int) -> Scenario:
         num_nodes=num_nodes,
         events=tuple(events),
         relay_groups=relay_groups,
+        hierarchy=hierarchy,
         config_overrides=overrides or None,
     )
 
@@ -322,7 +328,8 @@ def scenario_literal(scenario: Scenario, indent: str = "") -> str:
     pad = indent + "    "
     lines = [f"{indent}Scenario(", f"{pad}name={scenario.name!r},"]
     for field_name in ("protocol", "num_nodes", "num_clients", "duration",
-                       "seed", "relay_groups", "wan", "use_region_groups"):
+                       "seed", "relay_groups", "wan", "hierarchy",
+                       "use_region_groups"):
         value = getattr(scenario, field_name)
         if value != getattr(_SCENARIO_DEFAULTS, field_name):
             lines.append(f"{pad}{field_name}={value!r},")

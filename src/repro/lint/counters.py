@@ -89,6 +89,14 @@ REPLICA_COUNTERS: FrozenSet[str] = frozenset(
     }
 )
 
+#: Prefixes of dynamically-formatted ``Replica.count`` families.  The
+#: deep-relay fallback records one counter quartet per tree depth
+#: (``relay.depth.<d>.ack_rounds/acks/fallbacks/fallback_resends``,
+#: overlay/relay.py); depth is data, so the names are f-strings.
+REPLICA_COUNTER_PREFIXES: Tuple[str, ...] = (
+    "relay.depth.",
+)
+
 #: Fully qualified names passed to ``MetricsRegistry`` helpers as literals.
 METRIC_NAMES: FrozenSet[str] = frozenset(
     {
@@ -99,6 +107,13 @@ METRIC_NAMES: FrozenSet[str] = frozenset(
         "net.messages_duplicated",
         "net.messages_delivered",
         "net.messages_undeliverable",
+        # --- region/zone locality accounting (net/network.py); recorded
+        #     via f-strings on the send path, listed here for the tests
+        #     and reports that read them back as literals.
+        "region.local_messages",
+        "region.cross_messages",
+        "zone.local_messages",
+        "zone.cross_messages",
         # --- fault injection (net/faults.py)
         "faults.crashes",
         "faults.recoveries",
@@ -136,6 +151,8 @@ METRIC_NAME_PREFIXES: Tuple[str, ...] = (
     "pigpaxos.",
     "epaxos.",
     "shard.",           # shard.<s>.requests / shard.<s>.completions (workload/client.py)
+    "region.",          # region.local/cross_messages (net/network.py)
+    "zone.",            # zone.local/cross_messages (net/network.py)
 )
 
 
@@ -148,4 +165,6 @@ def is_known_metric(name: str) -> bool:
 
 def is_known_replica_counter(name: str) -> bool:
     """Whether a bare ``Replica.count`` name is in the documented namespace."""
-    return name in REPLICA_COUNTERS
+    if name in REPLICA_COUNTERS:
+        return True
+    return name.startswith(REPLICA_COUNTER_PREFIXES)

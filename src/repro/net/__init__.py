@@ -16,7 +16,7 @@ from repro.net.latency import (
     NormalLatency,
     WANMatrixLatency,
 )
-from repro.net.topology import Topology, Region
+from repro.net.topology import Topology, Region, Zone
 from repro.net.faults import NetworkFaults
 from repro.net.network import SimNetwork
 from repro.net.transport import Transport, SimTransport
@@ -32,6 +32,7 @@ __all__ = [
     "WANMatrixLatency",
     "Topology",
     "Region",
+    "Zone",
     "NetworkFaults",
     "SimNetwork",
     "Transport",

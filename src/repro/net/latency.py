@@ -114,12 +114,28 @@ class WANMatrixLatency(LatencyModel):
             performed automatically; intra-region latency falls back to
             ``local_one_way`` if no explicit entry exists.
         jitter: Fractional uniform jitter applied to each draw (0.05 = +/-5%).
+        node_zone: Optional node id -> zone name assignment for hierarchical
+            (region -> zone -> node) topologies.  When both endpoints share a
+            region *and* a zone, the cheaper ``zone_one_way`` applies, so the
+            hierarchy's latency ordering holds: intra-zone < intra-region <
+            cross-region.  An empty map (the default, and every flat/WAN
+            topology) reproduces the historical two-tier behaviour exactly.
+        zone_one_way: Intra-zone one-way latency (same rack row / AZ).
     """
 
     node_region: Mapping[int, str]
     matrix: Mapping[Tuple[str, str], float] = field(default_factory=lambda: dict(DEFAULT_WAN_MATRIX))
     local_one_way: float = 0.00025
     jitter: float = 0.05
+    node_zone: Mapping[int, str] = field(default_factory=dict)
+    zone_one_way: float = 0.0001
+
+    def __post_init__(self) -> None:
+        if self.node_zone and self.zone_one_way > self.local_one_way:
+            raise ConfigurationError(
+                "hierarchical latency needs zone_one_way <= local_one_way "
+                "(intra-zone links cannot be slower than intra-region ones)"
+            )
 
     def region_of(self, node: int) -> str:
         try:
@@ -136,6 +152,13 @@ class WANMatrixLatency(LatencyModel):
         if src not in self.node_region or dst not in self.node_region:
             return self.local_one_way
         region_a, region_b = self.region_of(src), self.region_of(dst)
+        if region_a == region_b and self.node_zone:
+            # Hierarchy leg: endpoints sharing a zone ride the cheaper
+            # intra-zone link; same-region-different-zone pairs keep the
+            # intra-region latency below.
+            zone_a = self.node_zone.get(src)
+            if zone_a is not None and zone_a == self.node_zone.get(dst):
+                return self.zone_one_way
         value = self.matrix.get((region_a, region_b))
         if value is None:
             value = self.matrix.get((region_b, region_a))

@@ -85,6 +85,15 @@ class SimNetwork:
         self._delivered_counter = self._metrics.counter("net.messages_delivered")
         self._undeliverable_counter = self._metrics.counter("net.messages_undeliverable")
         self._kind_counters: Dict[type, tuple] = {}
+        # Locality accounting for region/zone topologies: every attempted
+        # send between two placed nodes counts as local or crossing at each
+        # hierarchy level.  LAN topologies have empty maps and skip the
+        # branch entirely; the per-(src, dst) verdict is cached so the send
+        # path stays one dict probe.  Endpoints outside the placement maps
+        # (clients, shard-group endpoints) are not classified.
+        self._region_map = topology.region_map()
+        self._zone_map = topology.zone_map()
+        self._locality_counters: Dict[tuple, tuple] = {}
 
     # ----------------------------------------------------------------- wiring
     @property
@@ -145,6 +154,13 @@ class SimNetwork:
             self._kind_counters[type(message)] = counters
         counters[0].value += 1
         counters[1].value += size
+        if self._region_map:
+            locality = self._locality_counters.get((src, dst))
+            if locality is None:
+                locality = self._classify_locality(src, dst)
+                self._locality_counters[(src, dst)] = locality
+            for counter in locality:
+                counter.value += 1
 
         faults = self._faults
         if faults.lossy and faults.should_drop(src, dst, rng):
@@ -173,6 +189,28 @@ class SimNetwork:
                 delay += size / bandwidth
             sim.post_at(now + delay, self._deliver, (envelope, endpoint))
         return envelope
+
+    def _classify_locality(self, src: int, dst: int) -> tuple:
+        """Counters to bump for a (src, dst) pair, resolved once per pair.
+
+        A message between two region-placed nodes is region-local or
+        region-crossing; when both ends are also zone-placed it is
+        additionally zone-local or zone-crossing (zone names are
+        region-qualified, so a region crossing is always a zone crossing
+        too).  Pairs with an unplaced end classify as nothing.
+        """
+        src_region = self._region_map.get(src)
+        dst_region = self._region_map.get(dst)
+        if src_region is None or dst_region is None:
+            return ()
+        scope = "local" if src_region == dst_region else "cross"
+        counters = [self._metrics.counter(f"region.{scope}_messages")]
+        src_zone = self._zone_map.get(src)
+        dst_zone = self._zone_map.get(dst)
+        if src_zone is not None and dst_zone is not None:
+            scope = "local" if src_zone == dst_zone else "cross"
+            counters.append(self._metrics.counter(f"zone.{scope}_messages"))
+        return tuple(counters)
 
     def _delivery_delay(self, src: int, dst: int, size_bytes: int) -> float:
         propagation = self._latency.delay(src, dst, self._rng)

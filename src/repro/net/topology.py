@@ -1,9 +1,19 @@
 """Cluster topology descriptions: which nodes exist and where they live.
 
-A topology knows the node ids, the optional region of each node (used for
-WAN latency and region-aligned PigPaxos relay groups), the latency model and
-the per-link bandwidth.  Topology presets matching the paper's deployments
-live in :mod:`repro.cluster.topologies`.
+A topology knows the node ids, the optional placement of each node in a
+region -> zone -> node hierarchy (used for WAN latency and topology-aligned
+PigPaxos relay trees), the latency model and the per-link bandwidth.
+
+The hierarchy is strictly optional and strictly nested: a flat topology has
+no regions at all, a WAN topology has regions without zones (the degenerate
+one-zone-per-region case), and a planet-scale topology subdivides each
+region into availability zones.  Every consumer that only understands
+regions (``region_map``/``region_of``) sees exactly the same answers for a
+zoned topology as for its flattened equivalent, which is what keeps all
+pre-hierarchy call sites and recorded fingerprints byte-identical.
+
+Topology presets matching the paper's deployments live in
+:mod:`repro.cluster.topologies`.
 """
 
 from __future__ import annotations
@@ -16,11 +26,30 @@ from repro.net.latency import ConstantLatency, LatencyModel
 
 
 @dataclass(frozen=True)
-class Region:
-    """A named group of co-located nodes (e.g. an AWS region)."""
+class Zone:
+    """A named group of co-located nodes within a region (e.g. an AWS AZ)."""
 
     name: str
     nodes: tuple
+
+    def __contains__(self, node: int) -> bool:
+        return node in self.nodes
+
+
+@dataclass(frozen=True)
+class Region:
+    """A named group of co-located nodes (e.g. an AWS region).
+
+    ``zones`` optionally subdivides the region into availability zones; an
+    empty tuple (the historical construction) is the degenerate one-zone
+    case.  When zones are given they must partition a subset of the
+    region's nodes -- a node in a zone must be in its region, and in no
+    other zone.
+    """
+
+    name: str
+    nodes: tuple
+    zones: tuple = ()
 
     def __contains__(self, node: int) -> bool:
         return node in self.nodes
@@ -36,7 +65,8 @@ class Topology:
         bandwidth_bytes_per_sec: Per-link bandwidth used to charge
             transmission time for large messages.  ``None`` disables the
             bandwidth term (latency only).
-        regions: Optional region grouping of nodes.
+        regions: Optional region grouping of nodes; each region may carry
+            zones (see :class:`Region`).
     """
 
     node_ids: Sequence[int]
@@ -54,6 +84,24 @@ class Topology:
         covered = [n for region in self.regions for n in region.nodes]
         if covered and len(covered) != len(set(covered)):
             raise ConfigurationError("a node is assigned to more than one region")
+        zone_names: set = set()
+        for region in self.regions:
+            zoned: List[int] = []
+            for zone in region.zones:
+                if zone.name in zone_names:
+                    raise ConfigurationError(f"duplicate zone name {zone.name!r}")
+                zone_names.add(zone.name)
+                for node in zone.nodes:
+                    if node not in region.nodes:
+                        raise ConfigurationError(
+                            f"zone {zone.name!r} claims node {node} outside "
+                            f"its region {region.name!r}"
+                        )
+                zoned.extend(zone.nodes)
+            if len(zoned) != len(set(zoned)):
+                raise ConfigurationError(
+                    f"a node in region {region.name!r} is assigned to more than one zone"
+                )
 
     @property
     def size(self) -> int:
@@ -74,6 +122,36 @@ class Topology:
             if region.name == name:
                 return list(region.nodes)
         raise ConfigurationError(f"unknown region {name!r}")
+
+    # ------------------------------------------------------------------ zones
+    def zone_of(self, node: int) -> Optional[str]:
+        for region in self.regions:
+            for zone in region.zones:
+                if node in zone:
+                    return zone.name
+        return None
+
+    def zone_map(self) -> Dict[int, str]:
+        """Node id -> zone name for all nodes covered by a zone.
+
+        Empty for flat and region-only topologies; hierarchy-aware
+        consumers (relay tree planning, the network's cross-zone traffic
+        accounting) treat an empty map as "no hierarchy" and keep the
+        historical behaviour.
+        """
+        return {
+            node: zone.name
+            for region in self.regions
+            for zone in region.zones
+            for node in zone.nodes
+        }
+
+    def nodes_in_zone(self, name: str) -> List[int]:
+        for region in self.regions:
+            for zone in region.zones:
+                if zone.name == name:
+                    return list(zone.nodes)
+        raise ConfigurationError(f"unknown zone {name!r}")
 
     def transmission_delay(self, size_bytes: int) -> float:
         """Serialization/transmission time for ``size_bytes`` on one link."""

@@ -37,6 +37,7 @@ from repro.overlay.base import FanoutOverlay, OverlayHost
 from repro.overlay.config import OVERLAY_KINDS, OverlayConfig, build_overlay
 from repro.overlay.direct import DirectFanout
 from repro.overlay.groups import (
+    HierarchicalGroupPlan,
     RelayGroupPlan,
     contiguous_groups,
     hash_groups,
@@ -56,6 +57,7 @@ __all__ = [
     "OVERLAY_KINDS",
     "DirectFanout",
     "FanoutOverlay",
+    "HierarchicalGroupPlan",
     "OverlayConfig",
     "OverlayHost",
     "OverlayMessage",

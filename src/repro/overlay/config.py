@@ -57,6 +57,12 @@ class OverlayConfig:
             relay stays silent past this deadline is re-sent directly so a
             relay crash can no longer lose the commit for its whole group.
             ``None`` (the default) keeps the historical ack-free behaviour.
+        recursive_commit_fallback: With a ``commit_fallback_timeout`` set
+            and ``relay_levels > 1``, interior relays run the same
+            ack/deadline/resend-subtree protocol towards their own
+            sub-relays, so a deep sub-relay crash heals inside the tree
+            (per-depth ``relay.depth.<d>.*`` counters).  False restores the
+            first-hop-only fallback (ablation / mutation tests).
     """
 
     kind: str = "direct"
@@ -69,6 +75,7 @@ class OverlayConfig:
     fixed_relays: bool = False
     thrifty_fallback_timeout: float = 0.1
     commit_fallback_timeout: Optional[float] = None
+    recursive_commit_fallback: bool = True
 
     def __post_init__(self) -> None:
         if self.kind not in OVERLAY_KINDS:
@@ -108,12 +115,14 @@ class OverlayConfig:
 def build_overlay(
     config: Optional[OverlayConfig],
     region_of: Optional[Dict[int, str]] = None,
+    zone_of: Optional[Dict[int, str]] = None,
 ):
     """Instantiate a fresh overlay for one replica from its config.
 
     ``None`` (and kind ``"direct"``) build the status-quo broadcast;
-    ``region_of`` feeds the relay overlay's region-aligned grouping and is
-    ignored by the other kinds.
+    ``region_of``/``zone_of`` feed the relay overlay's topology-aligned
+    grouping (region groups, and zone sub-trees at ``relay_levels > 1``)
+    and are ignored by the other kinds.
     """
     from repro.overlay.direct import DirectFanout
     from repro.overlay.relay import RelayFanout
@@ -126,12 +135,14 @@ def build_overlay(
             num_groups=config.num_groups,
             use_region_groups=config.use_region_groups,
             region_of=region_of,
+            zone_of=zone_of,
             relay_timeout=config.relay_timeout,
             timeout_decay=config.relay_timeout_decay,
             response_threshold=config.group_response_threshold,
             levels=config.relay_levels,
             fixed_relays=config.fixed_relays,
             commit_fallback_timeout=config.commit_fallback_timeout,
+            recursive_commit_fallback=config.recursive_commit_fallback,
         )
     if config.kind == "thrifty":
         return ThriftyFanout(fallback_timeout=config.thrifty_fallback_timeout)

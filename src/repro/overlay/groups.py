@@ -9,13 +9,20 @@ the optional multi-level nesting of Section 6.3) and dynamic reshuffling
 (Section 4.1).  :class:`~repro.overlay.relay.RelayFanout` drives it for both
 protocol families; :mod:`repro.core.groups` re-exports everything for
 backwards compatibility.
+
+Hierarchical topologies (region -> zone -> node) get a topology-aware plan:
+:class:`HierarchicalGroupPlan` keeps one group per region (the one-level
+special case is exactly :func:`region_groups`) and, at ``relay_levels > 1``,
+nests one sub-relay per *zone* inside each region's tree instead of the
+arbitrary contiguous sqrt-splitting -- region relays -> zone relays ->
+leaves, so each tree edge crosses the cheapest link that can carry it.
 """
 
 from __future__ import annotations
 
 import random
 import zlib
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.errors import ConfigurationError
@@ -177,3 +184,106 @@ class RelayGroupPlan:
             for subgroup in subgroups
         )
         return RelaySubtree(node_id=relay, children=children)
+
+
+@dataclass
+class HierarchicalGroupPlan(RelayGroupPlan):
+    """A region-aligned plan whose groups are further partitioned by zone.
+
+    ``groups`` holds one group per region (plus a trailing leftover group
+    for members outside every region), exactly as :func:`region_groups`
+    produces them; ``zones`` is the parallel per-group partition into zone
+    member lists.  At ``relay_levels <= 1`` the plan behaves identically to
+    a plain region plan (same trees, same RNG draws); deeper levels route
+    region relay -> zone relays -> leaves.  Reshuffling preserves both
+    boundaries: membership is re-dealt *within* each zone only, so the
+    rebuilt multi-level tree still follows the topology.
+    """
+
+    zones: List[List[List[int]]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if len(self.zones) != len(self.groups):
+            raise ConfigurationError("need one zone partition per relay group")
+        for group, zone_partition in zip(self.groups, self.zones):
+            flattened = [m for zone in zone_partition for m in zone]
+            if sorted(flattened) != sorted(group):
+                raise ConfigurationError(
+                    "zone partition does not partition its relay group"
+                )
+
+    @classmethod
+    def from_hierarchy(
+        cls,
+        members: Sequence[int],
+        region_of: Dict[int, str],
+        zone_of: Dict[int, str],
+    ) -> "HierarchicalGroupPlan":
+        """Plan from a region map + zone map (unzoned members form a
+        pseudo-zone per group, regionless members a trailing group)."""
+        groups = region_groups(members, region_of)
+        zones: List[List[List[int]]] = []
+        for group in groups:
+            by_zone: Dict[str, List[int]] = {}
+            unzoned: List[int] = []
+            for member in group:
+                zone = zone_of.get(member)
+                if zone is None:
+                    unzoned.append(member)
+                else:
+                    by_zone.setdefault(zone, []).append(member)
+            partition = [sorted(nodes) for _, nodes in sorted(by_zone.items())]
+            if unzoned:
+                partition.append(sorted(unzoned))
+            zones.append(partition)
+        # Re-order each group to its zone-partition order so tree building
+        # and reshuffling can walk groups and zones in lockstep.
+        regrouped = [[m for zone in partition for m in zone] for partition in zones]
+        return cls(groups=regrouped, zones=zones)
+
+    def reshuffle(self, rng: random.Random) -> "HierarchicalGroupPlan":
+        """Re-deal membership within each zone (boundaries are topology)."""
+        new_groups: List[List[int]] = []
+        new_zones: List[List[List[int]]] = []
+        for zone_partition in self.zones:
+            shuffled_partition: List[List[int]] = []
+            for zone_members in zone_partition:
+                members = list(zone_members)
+                rng.shuffle(members)
+                shuffled_partition.append(members)
+            new_zones.append(shuffled_partition)
+            new_groups.append([m for zone in shuffled_partition for m in zone])
+        return HierarchicalGroupPlan(groups=new_groups, zones=new_zones)
+
+    def build_trees(
+        self,
+        rng: random.Random,
+        levels: int = 1,
+        fixed_relays: bool = False,
+        exclude: Optional[set] = None,
+    ) -> List[RelaySubtree]:
+        if levels <= 1:
+            # One-level trees are zone-blind; the base builder draws the
+            # same relays a plain region plan would.
+            return super().build_trees(rng, levels, fixed_relays, exclude)
+        trees: List[RelaySubtree] = []
+        for group, zone_partition in zip(self.groups, self.zones):
+            candidates = [n for n in group if not exclude or n not in exclude]
+            if not candidates:
+                candidates = list(group)
+            relay = candidates[0] if fixed_relays else rng.choice(candidates)
+            children: List[RelaySubtree] = []
+            for zone_members in zone_partition:
+                rest = [
+                    n
+                    for n in zone_members
+                    if n != relay and (not exclude or n not in exclude)
+                ]
+                if not rest:
+                    continue
+                children.append(
+                    self._build_group_tree(rest, rng, levels - 1, fixed_relays)
+                )
+            trees.append(RelaySubtree(node_id=relay, children=tuple(children)))
+        return trees

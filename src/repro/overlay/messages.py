@@ -92,15 +92,19 @@ class RelayRequest(OverlayMessage):
         expects_response: False for pure fan-out traffic (heartbeats,
             commit notifications) where the root does not need the fan-in
             leg.
-        ack: True when the fan-out root wants a delivery acknowledgement
-            from its first-hop relay even though the traffic itself expects
-            no responses (commit-durability tracking: a relay that never
-            acks is presumed crashed and its whole subtree is re-sent
-            directly).  Only set when the root's overlay is configured with
-            a ``commit_fallback_timeout``.
+        ack: True when the sender wants a delivery acknowledgement from the
+            recipient relay even though the traffic itself expects no
+            responses (commit-durability tracking: a relay that never acks
+            is presumed crashed and its subtree is re-sent directly).  Set
+            by the fan-out root when its overlay is configured with a
+            ``commit_fallback_timeout``, and propagated by each interior
+            relay to its own sub-relays (recursive fallback), so a deep
+            sub-relay crash heals at the lowest live ancestor.
+        depth: Tree depth of the recipient (first-hop relays sit at 1);
+            feeds the per-depth ``relay.depth.<d>.*`` durability counters.
     """
 
-    __slots__ = ("inner", "children", "agg_id", "timeout", "expects_response", "ack")
+    __slots__ = ("inner", "children", "agg_id", "timeout", "expects_response", "ack", "depth")
 
     def __init__(
         self,
@@ -110,6 +114,7 @@ class RelayRequest(OverlayMessage):
         timeout: float,
         expects_response: bool = True,
         ack: bool = False,
+        depth: int = 1,
     ) -> None:
         self.inner = inner
         self.children = children
@@ -117,6 +122,7 @@ class RelayRequest(OverlayMessage):
         self.timeout = timeout
         self.expects_response = expects_response
         self.ack = ack
+        self.depth = depth
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"RelayRequest(agg_id={self.agg_id} inner={self.inner!r})"

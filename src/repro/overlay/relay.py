@@ -18,7 +18,12 @@ protocol-agnostic subsystem.  Robustness properties are preserved verbatim:
   root afterwards instead of dropping votes the root may need;
 * relays rotate every round, so a crashed relay only costs the rounds in
   flight; :meth:`reshuffle` additionally re-deals group membership
-  (Section 4.1);
+  (Section 4.1) -- within zones on hierarchical topologies, so the rebuilt
+  multi-level tree still follows the region/zone boundaries;
+* with ``commit_fallback_timeout`` set, fire-and-forget fan-outs demand
+  acks hop by hop: the root covers its first-hop relays and (recursively)
+  every interior relay covers its own sub-relays, re-sending a silent
+  relay's subtree directly, with per-depth ``relay.depth.<d>.*`` counters;
 * aggregate accounting counts distinct children only, so a child that
   flushes twice cannot mark a session complete while another child is
   silent.
@@ -38,9 +43,15 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Optional
 
+from repro.errors import ConfigurationError
 from repro.net.message import Message
 from repro.overlay.base import FanoutOverlay
-from repro.overlay.groups import RelayGroupPlan, region_groups, round_robin_groups
+from repro.overlay.groups import (
+    HierarchicalGroupPlan,
+    RelayGroupPlan,
+    region_groups,
+    round_robin_groups,
+)
 from repro.overlay.messages import RelayAggregate, RelayRequest, RelaySubtree
 
 
@@ -61,17 +72,22 @@ class _AggregationSession:
 
 @dataclass(slots=True)
 class _CommitRound:
-    """Root-side durability tracking for one fire-and-forget fan-out.
+    """Durability tracking for one fire-and-forget fan-out hop.
 
-    ``subtrees`` maps each first-hop relay to the subtree it must deliver
+    ``subtrees`` maps each next-hop relay to the subtree it must deliver
     to; a relay that has not acked by the fallback deadline is presumed
-    crashed and its subtree is re-sent directly (DirectFanout-style).
+    crashed and its subtree is re-sent directly (DirectFanout-style).  The
+    fan-out root opens one of these at ``depth`` 0; with recursive fallback
+    every interior relay opens its own round (depth 1, 2, ...) covering its
+    sub-relays, so a deep sub-relay crash heals at the lowest live ancestor
+    instead of surfacing as a lost commit.
     """
 
     message: Message
     subtrees: Dict[int, object] = field(default_factory=dict)
     acked: set = field(default_factory=set)
     timer: Optional[object] = None
+    depth: int = 0
 
 
 class RelayFanout(FanoutOverlay):
@@ -87,17 +103,29 @@ class RelayFanout(FanoutOverlay):
         num_groups: int = 3,
         use_region_groups: bool = False,
         region_of: Optional[Dict[int, str]] = None,
+        zone_of: Optional[Dict[int, str]] = None,
         relay_timeout: float = 0.05,
         timeout_decay: float = 0.5,
         response_threshold: Optional[float] = None,
         levels: int = 1,
         fixed_relays: bool = False,
         commit_fallback_timeout: Optional[float] = None,
+        recursive_commit_fallback: bool = True,
     ) -> None:
         super().__init__()
         self.num_groups = num_groups
         self.use_region_groups = use_region_groups
         self.region_of = dict(region_of or {})
+        self.zone_of = dict(zone_of or {})
+        if use_region_groups and not self.region_of:
+            # Refused at build time: silently falling back to round-robin
+            # groups (the historical behaviour) turned a mis-wired WAN
+            # deployment into a quietly slower one instead of an error.
+            raise ConfigurationError(
+                "use_region_groups=True but no region map is available; "
+                "build the cluster on a WAN/hierarchical topology (or pass "
+                "region_of) or disable region-aligned grouping"
+            )
         self.relay_timeout = relay_timeout
         self.timeout_decay = timeout_decay
         self.response_threshold = response_threshold
@@ -110,6 +138,11 @@ class RelayFanout(FanoutOverlay):
         # re-sent directly, node by node.  None (default) keeps the
         # historical ack-free behaviour and recorded fingerprints.
         self.commit_fallback_timeout = commit_fallback_timeout
+        # When True (default), interior relays run the same ack/deadline/
+        # resend-subtree logic towards their own sub-relays, so a deep
+        # sub-relay crash heals inside the tree.  False restores the
+        # first-hop-only protocol (ablation / mutation tests).
+        self.recursive_commit_fallback = recursive_commit_fallback
 
         self._plan: Optional[RelayGroupPlan] = None
         self._sessions: Dict[int, _AggregationSession] = {}
@@ -125,7 +158,16 @@ class RelayFanout(FanoutOverlay):
         """The current partition of the host's peers into relay groups."""
         if self._plan is None:
             followers = sorted(self.host.peers)
-            if self.use_region_groups and self.region_of:
+            if self.use_region_groups:
+                if self.zone_of:
+                    # Hierarchical topology: one group per region with zone
+                    # sub-partitions, so multi-level trees follow region
+                    # relay -> zone relays -> leaves instead of arbitrary
+                    # splits.  At levels <= 1 this is exactly region_groups.
+                    self._plan = HierarchicalGroupPlan.from_hierarchy(
+                        followers, self.region_of, self.zone_of
+                    )
+                    return self._plan
                 groups = region_groups(followers, self.region_of)
             else:
                 groups = round_robin_groups(followers, self.num_groups)
@@ -175,16 +217,26 @@ class RelayFanout(FanoutOverlay):
             self.host.send(tree.node_id, request)
             relays.append(tree.node_id)
         if want_ack and relays:
-            commit_round = _CommitRound(
-                message=message,
-                subtrees={tree.node_id: tree for tree in trees},
+            self._open_commit_round(
+                agg_id, message, {tree.node_id: tree for tree in trees}, depth=0
             )
-            commit_round.timer = self.host.ctx.schedule(
-                self.commit_fallback_timeout, self._commit_fallback, agg_id
-            )
-            self._pending_commits[agg_id] = commit_round
         self.host.count("relay_fanouts")
         return relays
+
+    def _open_commit_round(
+        self,
+        agg_id: int,
+        message: Message,
+        subtrees: Dict[int, RelaySubtree],
+        depth: int,
+    ) -> None:
+        """Arm durability tracking for one fan-out hop at ``depth``."""
+        commit_round = _CommitRound(message=message, subtrees=subtrees, depth=depth)
+        commit_round.timer = self.host.ctx.schedule(
+            self.commit_fallback_timeout, self._commit_fallback, agg_id
+        )
+        self._pending_commits[agg_id] = commit_round
+        self.host.count(f"relay.depth.{depth}.ack_rounds")
 
     # ------------------------------------------------------------------ receiving
     def handle_message(self, src: int, message: Message) -> bool:
@@ -213,12 +265,29 @@ class RelayFanout(FanoutOverlay):
 
         if not msg.expects_response:
             # Pure fan-out traffic (heartbeats, commits): forward and stop.
+            # With recursive fallback on, this relay also demands acks from
+            # its own sub-relays (children that have children) and re-sends
+            # a silent sub-relay's subtree directly -- the same protocol the
+            # root runs, one level down.  Leaves never ack: losing a leaf
+            # loses one node's copy, not a whole subtree.
+            sub_relays: Dict[int, RelaySubtree] = {}
+            want_child_acks = (
+                msg.ack
+                and self.recursive_commit_fallback
+                and self.commit_fallback_timeout is not None
+                and msg.agg_id not in self._pending_commits
+            )
             for child in msg.children:
-                self._forward_to_child(child, msg)
+                child_ack = bool(want_child_acks and child.children)
+                if child_ack:
+                    sub_relays[child.node_id] = child
+                self._forward_to_child(child, msg, ack=child_ack)
+            if sub_relays:
+                self._open_commit_round(msg.agg_id, msg.inner, sub_relays, depth=msg.depth)
             if msg.ack:
-                # Commit-durability leg: tell the root this subtree's relay
+                # Commit-durability leg: tell the parent this subtree's relay
                 # is alive and has forwarded the round.  Duplicate requests
-                # re-ack; the root's acked-set makes that idempotent.
+                # re-ack; the parent's acked-set makes that idempotent.
                 self.host.send(
                     src,
                     RelayAggregate(agg_id=msg.agg_id, responses=(), origin=self.host.node_id),
@@ -248,7 +317,7 @@ class RelayFanout(FanoutOverlay):
             self._forward_to_child(child, msg)
         self.host.count("relay_rounds")
 
-    def _forward_to_child(self, child: RelaySubtree, msg: RelayRequest) -> None:
+    def _forward_to_child(self, child: RelaySubtree, msg: RelayRequest, ack: bool = False) -> None:
         child_timeout = max(msg.timeout * self.timeout_decay, 0.001)
         self.host.send(
             child.node_id,
@@ -258,6 +327,8 @@ class RelayFanout(FanoutOverlay):
                 agg_id=msg.agg_id,
                 timeout=child_timeout,
                 expects_response=msg.expects_response,
+                ack=ack,
+                depth=msg.depth + 1,
             ),
         )
 
@@ -272,7 +343,9 @@ class RelayFanout(FanoutOverlay):
             # Durability ack for a fire-and-forget round this node fanned
             # out: the relay is alive.  Once every relay acked, the round
             # is durable and the fallback is disarmed.
-            commit_round.acked.add(msg.origin)
+            if msg.origin not in commit_round.acked:
+                commit_round.acked.add(msg.origin)
+                self.host.count(f"relay.depth.{commit_round.depth}.acks")
             if len(commit_round.acked) >= len(commit_round.subtrees):
                 if commit_round.timer is not None:
                     commit_round.timer.cancel()
@@ -331,7 +404,9 @@ class RelayFanout(FanoutOverlay):
         commit and stall its dependency graphs until client retries papered
         over the hole.  Re-broadcast is DirectFanout-style -- one plain copy
         of the inner message per subtree node -- and harmless to nodes that
-        did receive the relayed copy (commits are idempotent).
+        did receive the relayed copy (commits are idempotent).  Fires at the
+        root (depth 0) for silent first-hop relays and, with recursive
+        fallback, at every interior relay for its own silent sub-relays.
         """
         commit_round = self._pending_commits.pop(agg_id, None)
         if commit_round is None:
@@ -346,6 +421,8 @@ class RelayFanout(FanoutOverlay):
         if resent:
             self.host.count("commit_fallbacks")
             self.host.count("commit_fallback_resends", resent)
+            self.host.count(f"relay.depth.{commit_round.depth}.fallbacks")
+            self.host.count(f"relay.depth.{commit_round.depth}.fallback_resends", resent)
 
     def _session_timeout(self, agg_id: int) -> None:
         session = self._sessions.get(agg_id)

@@ -732,6 +732,127 @@ def _scenarios() -> List[Scenario]:
             },
             description="3-shard EPaxos over the three-region WAN, each group's rounds through region relay trees.",
         ),
+        # ------------------------------------------------- planet scale
+        # Region -> zone -> node hierarchies (PR 10): 49-81 nodes across
+        # 3-5 regions with 3 zones each, zone-aligned two-level relay
+        # trees.  The region-loss family cuts whole regions/zones out of
+        # the cluster; the wan-degradation family degrades the links
+        # themselves (loss + a sluggish region).  Node->region placement
+        # is round-robin (node i lives in region i % R, zone (i // R) % Z),
+        # which is what makes the partition groups below whole regions.
+        Scenario(
+            name="pig-planet-region-loss-49",
+            protocol="pigpaxos",
+            num_nodes=49,
+            hierarchy=(3, 3),
+            use_region_groups=True,
+            num_clients=8,
+            duration=2.5,
+            seed=101,
+            client_timeout=1.0,
+            checks=PAXOS_CHECK_NAMES + ("progress",),
+            min_completed=110,  # seed completes 329
+            config_overrides={"relay_levels": 2},
+            events=(
+                # Region "oregon" (node i % 3 == 2: 16 of 49 nodes) drops
+                # off the planet; the two surviving regions still hold 33
+                # nodes -- a comfortable majority that must keep committing.
+                E.partition(
+                    0.7,
+                    tuple(n for n in range(49) if n % 3 != 2),
+                    tuple(n for n in range(49) if n % 3 == 2),
+                ),
+                E.heal_partition(1.8),
+            ),
+            description="49 nodes over 3 regions x 3 zones, two-level zone relay trees; a whole region partitions away and later rejoins.",
+        ),
+        Scenario(
+            name="pig-planet-zone-crash-75",
+            protocol="pigpaxos",
+            num_nodes=75,
+            hierarchy=(5, 3),
+            use_region_groups=True,
+            num_clients=8,
+            duration=2.5,
+            seed=103,
+            client_timeout=1.0,
+            checks=PAXOS_CHECK_NAMES + ("progress",),
+            min_completed=44,  # seed completes 132
+            config_overrides={"relay_levels": 2},
+            events=tuple(
+                # Zone virginia-z0 = {0, 15, 30, 45, 60} under round-robin
+                # placement: all five machines of one zone fail together
+                # (a zone outage), then power back on.
+                E.crash(0.6, node=n) for n in (0, 15, 30, 45, 60)
+            ) + (E.recover_all(1.6),),
+            description="75 nodes over 5 regions x 3 zones: one complete zone (5 machines) crashes and recovers; zone-aligned subtrees route around it.",
+        ),
+        Scenario(
+            name="epaxos-planet-deep-relay-crash-49",
+            protocol="epaxos",
+            num_nodes=49,
+            hierarchy=(3, 3),
+            num_clients=16,
+            duration=4.0,
+            seed=127,
+            client_timeout=0.75,
+            # Hot keyspace so the surviving leaders' instances all conflict:
+            # a leader that misses a dependency's ECommit stalls execution
+            # and its client visibly times out, which is what makes the
+            # fallback's healing measurable from the outside.
+            workload=WorkloadSpec(num_keys=4, read_ratio=0.25, unique_values=True),
+            checks=EPAXOS_CHECK_NAMES + ("progress",),
+            # Fixed relays pin node 0 as region virginia's first-hop relay
+            # and node 4 as the california-z1 sub-relay in every root's
+            # tree; crashing both tears a hole at depth 1 *and* depth 2 of
+            # all 48 surviving fan-out trees at once.  With the hop-by-hop
+            # commit fallback this seed completes 50 ops; with
+            # commit_fallback_timeout=None the starved subtrees silently
+            # miss ECommits, dependents stall until instance recovery
+            # limps in, and it completes only 44 (see the mutation test in
+            # tests/test_scenario_mutations.py).  The floor sits between.
+            min_completed=47,
+            config_overrides={
+                "overlay": {
+                    "kind": "relay",
+                    "use_region_groups": True,
+                    "relay_levels": 2,
+                    "fixed_relays": True,
+                    "commit_fallback_timeout": 0.25,
+                },
+                "recovery_timeout": 1.5,
+            },
+            events=(E.crash(0.5, node=0), E.crash(0.5, node=4)),
+            description="Depth-2 zone relay trees on 49 planet nodes lose a first-hop relay and an interior sub-relay mid-run: the hop-by-hop ack/resend fallback must heal the torn subtrees below the first hop.",
+        ),
+        Scenario(
+            name="pig-planet-wan-degradation-81",
+            protocol="pigpaxos",
+            num_nodes=81,
+            hierarchy=(3, 3),
+            use_region_groups=True,
+            num_clients=8,
+            duration=2.5,
+            seed=109,
+            client_timeout=1.0,
+            checks=PAXOS_CHECK_NAMES + ("progress",),
+            min_completed=58,  # seed completes 176
+            config_overrides={"relay_levels": 2},
+            events=(
+                # The WAN degrades rather than partitions: a lossy window
+                # hits every link while one whole region turns sluggish
+                # (node i % 3 == 1 is region "california", 27 of 81 nodes),
+                # then both clear.
+                E.set_drop(0.6, probability=0.15),
+            ) + tuple(
+                E.sluggish(0.6, node=n, factor=4.0) for n in range(81) if n % 3 == 1
+            ) + (
+                E.set_drop(1.5, probability=0.0),
+            ) + tuple(
+                E.sluggish(1.5, node=n, factor=1.0) for n in range(81) if n % 3 == 1
+            ),
+            description="81 planet nodes under WAN degradation: 15% loss everywhere plus one 4x-sluggish region, through two-level relay trees.",
+        ),
         Scenario(
             name="epaxos-duplicate-torture",
             protocol="epaxos",
@@ -797,6 +918,10 @@ SMOKE_SCENARIOS = (
     "paxos-throughput-25-batched",
     "pig-batched-5",
     "epaxos-batched-5",
+    # One planet-scale hierarchy cell so a region/zone topology or deep
+    # relay-tree regression fails fast (the rest of the planet family is
+    # full-sweep-only).
+    "pig-planet-region-loss-49",
 )
 
 

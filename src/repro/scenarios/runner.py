@@ -32,7 +32,7 @@ from repro.checkers.invariants import Violation, run_epaxos_checks, run_log_chec
 from repro.checkers.linearizability import check_linearizability
 from repro.cluster.builder import Cluster, ClusterBuilder
 from repro.cluster.faults import FaultEvent, FaultKind
-from repro.cluster.topologies import wan_topology
+from repro.cluster.topologies import planet_topology, wan_topology
 from repro.core.config import PigPaxosConfig
 from repro.errors import ConfigurationError, ReproError
 from repro.protocol.config import ProtocolConfig
@@ -116,6 +116,15 @@ class ScenarioRunner:
         )
         if scenario.wan:
             builder.topology(wan_topology(num_nodes=scenario.num_nodes))
+        if scenario.hierarchy is not None:
+            num_regions, zones_per_region = scenario.hierarchy
+            builder.topology(
+                planet_topology(
+                    num_nodes=scenario.num_nodes,
+                    num_regions=num_regions,
+                    zones_per_region=zones_per_region,
+                )
+            )
         if scenario.shards != 1:
             builder.shards(scenario.shards)
         if scenario.relay_groups is not None:

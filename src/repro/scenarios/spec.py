@@ -186,6 +186,13 @@ class Scenario:
             bit-for-bit identical (histories, metrics, everything).
         relay_groups: PigPaxos relay-group count (None = protocol default).
         wan: Use the paper's three-region WAN topology instead of a LAN.
+        hierarchy: ``(num_regions, zones_per_region)`` -- deploy on the
+            planet-scale region/zone topology of
+            :func:`~repro.cluster.topologies.planet_topology` instead of a
+            LAN.  Mutually exclusive with ``wan`` (the hierarchy *is* a WAN
+            with a finer intra-region structure); combine with
+            ``use_region_groups`` and ``relay_levels`` overrides to get
+            zone-aligned multi-level relay trees.
         use_region_groups: Align relay groups with WAN regions.
         workload: Client workload; defaults to the contended, identifiable
             ``WorkloadSpec.checking_default()`` the checkers need.
@@ -220,6 +227,7 @@ class Scenario:
     seed: int = 0
     relay_groups: Optional[int] = None
     wan: bool = False
+    hierarchy: Optional[Tuple[int, int]] = None
     use_region_groups: bool = False
     workload: WorkloadSpec = field(default_factory=WorkloadSpec.checking_default)
     client_timeout: float = 2.0
@@ -249,6 +257,26 @@ class Scenario:
             )
         if self.min_completed < 0:
             raise ConfigurationError("min_completed must be >= 0")
+        if self.hierarchy is not None:
+            if self.wan:
+                raise ConfigurationError(
+                    "hierarchy and wan are mutually exclusive; the "
+                    "hierarchical topology already spans regions"
+                )
+            if len(self.hierarchy) != 2:
+                raise ConfigurationError(
+                    "hierarchy must be (num_regions, zones_per_region)"
+                )
+            num_regions, zones_per_region = self.hierarchy
+            if num_regions < 1 or zones_per_region < 1:
+                raise ConfigurationError(
+                    "hierarchy counts must both be >= 1"
+                )
+            if num_regions > self.num_nodes:
+                raise ConfigurationError(
+                    f"hierarchy wants {num_regions} regions but the cluster "
+                    f"has only {self.num_nodes} nodes"
+                )
         for check in self.checks:
             if check not in CHECK_NAMES:
                 raise ConfigurationError(

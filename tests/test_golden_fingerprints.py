@@ -73,6 +73,18 @@ GOLDEN_FINGERPRINTS = {
     "paxos-throughput-25-batched": "63dfd0b15bc8eb04806778ee6004692fdc636f7c85d619018c199b9843bb43d8",
     "pig-batched-5": "e431511b87bd8e746c610fd65a622a45811f498368a90fb1af05e2400a8c5f77",
     "epaxos-batched-5": "3960d2bbebd11f1f491080de748b079307ca9d7f6f53e2e8659fb6fb2078d406",
+    # Planet-hierarchy tripwires (recorded at the hierarchical-topology PR):
+    # region/zone topologies at 49-81 nodes with zone-aligned two-level
+    # relay trees, one per new fault family (region partition, zone crash,
+    # deep-relay crash, WAN degradation).  Every pre-hierarchy fingerprint
+    # above must stay byte-identical -- flat topologies carry no zones, a
+    # zoneless relay plan is the historical single-level planner, and
+    # leaves never ack commits, so these pins plus the unchanged controls
+    # prove the degenerate path pays zero determinism tax.
+    "pig-planet-region-loss-49": "a039e512ffd78607d66975866cccf9f724ffb8bbb3b4ab5c1a087eee525b600c",
+    "pig-planet-zone-crash-75": "6761fb480dfd6571ef87371d33a362bee7c5dfe9a0cbda70407102a4382d5cd6",
+    "epaxos-planet-deep-relay-crash-49": "f386db4dc4eb95904a4f8206d8c03e69c28ec076520d58529b327a5a1e3a6831",
+    "pig-planet-wan-degradation-81": "bbe9bdce1768b25639358974823bf082319e0702d735cdd5e661b3e8fcf56292",
 }
 
 

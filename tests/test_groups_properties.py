@@ -17,6 +17,7 @@ import random
 import pytest
 
 from repro.core.groups import (
+    HierarchicalGroupPlan,
     RelayGroupPlan,
     contiguous_groups,
     hash_groups,
@@ -127,3 +128,91 @@ class TestRelayTrees:
     def test_empty_group_rejected(self):
         with pytest.raises(ConfigurationError):
             RelayGroupPlan(groups=[[1], []])
+
+
+def tree_shape(tree):
+    """Structural view of a RelaySubtree (the class itself compares by id)."""
+    return (tree.node_id, tuple(tree_shape(child) for child in tree.children))
+
+
+def random_hierarchy(rng: random.Random):
+    """A random member set with region/zone placement (some members bare)."""
+    members = random_members(rng)
+    regions = ("virginia", "california", "oregon", "tokyo")[: rng.randint(2, 4)]
+    zones_per_region = rng.randint(1, 3)
+    region_of, zone_of = {}, {}
+    for member in members:
+        if rng.random() < 0.1:
+            continue  # regionless leftover
+        region = rng.choice(regions)
+        region_of[member] = region
+        if rng.random() < 0.9:
+            zone_of[member] = f"{region}-z{rng.randrange(zones_per_region)}"
+    return members, region_of, zone_of
+
+
+class TestHierarchicalPlans:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_plan_partitions_every_member(self, seed):
+        rng = random.Random(seed)
+        members, region_of, zone_of = random_hierarchy(rng)
+        plan = HierarchicalGroupPlan.from_hierarchy(members, region_of, zone_of)
+        assert sorted(plan.members) == sorted(members)
+        for group, partition in zip(plan.groups, plan.zones):
+            flat = [m for zone in partition for m in zone]
+            assert sorted(flat) == sorted(group)
+            assert {region_of.get(m) for m in group} <= {None} | set(
+                region_of.values()
+            )
+            assert len({region_of.get(m) for m in group}) == 1
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("levels", (2, 3))
+    def test_deep_trees_cover_members_and_respect_zones(self, seed, levels):
+        rng = random.Random(seed)
+        members, region_of, zone_of = random_hierarchy(rng)
+        plan = HierarchicalGroupPlan.from_hierarchy(members, region_of, zone_of)
+        trees = plan.build_trees(rng, levels=levels)
+        covered = [node for tree in trees for node in tree.all_nodes()]
+        assert sorted(covered) == sorted(members)
+        assert len(covered) == len(set(covered))
+        for tree, group in zip(trees, plan.groups):
+            # The group relay comes from its own region group...
+            assert tree.node_id in group
+            # ...and each of its child subtrees stays inside one zone (the
+            # unzoned pseudo-zone counts as a zone of its own).
+            for child in tree.children:
+                child_zones = {zone_of.get(n) for n in child.all_nodes()}
+                assert len(child_zones) == 1
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_zoneless_plan_degenerates_to_plain_region_plan(self, seed):
+        # The degenerate case behind the golden-fingerprint guarantee: with
+        # no zone placement at all, the hierarchical plan is exactly the
+        # plain region plan -- same groups, and identical trees from
+        # identical RNG state at every level.
+        rng = random.Random(seed)
+        members, region_of, _ = random_hierarchy(rng)
+        plan = HierarchicalGroupPlan.from_hierarchy(members, region_of, {})
+        plain = RelayGroupPlan(groups=region_groups(members, region_of))
+        assert plan.groups == plain.groups
+        trees = plan.build_trees(random.Random(seed + 1), levels=1)
+        expected = plain.build_trees(random.Random(seed + 1), levels=1)
+        assert [tree_shape(t) for t in trees] == [tree_shape(t) for t in expected]
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_reshuffle_preserves_zone_membership(self, seed):
+        rng = random.Random(seed)
+        members, region_of, zone_of = random_hierarchy(rng)
+        plan = HierarchicalGroupPlan.from_hierarchy(members, region_of, zone_of)
+        reshuffled = plan.reshuffle(rng)
+        assert isinstance(reshuffled, HierarchicalGroupPlan)
+        assert sorted(reshuffled.members) == sorted(members)
+        for before, after in zip(plan.zones, reshuffled.zones):
+            assert [sorted(z) for z in before] == [sorted(z) for z in after]
+
+    def test_mismatched_zone_partition_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HierarchicalGroupPlan(groups=[[1, 2]], zones=[[[1], [3]]])
+        with pytest.raises(ConfigurationError):
+            HierarchicalGroupPlan(groups=[[1, 2], [3]], zones=[[[1, 2]]])

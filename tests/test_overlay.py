@@ -2,10 +2,12 @@
 
 Covers the three strategies through their protocol hosts: direct broadcast
 equivalence, EPaxos rounds travelling through relay trees (including relay
-crashes and late replies), thrifty subset sends with the full-broadcast
-fallback, configuration plumbing through ProtocolConfig/ClusterBuilder, and
-the scenario-level mutation test: disabling the thrifty fallback must be
-caught by the scenario checkers (the ``progress`` liveness floor).
+crashes and late replies), deep-tree resilience (recursive commit fallback
+at interior relays, zone-preserving mid-round reshuffles), thrifty subset
+sends with the full-broadcast fallback, configuration plumbing through
+ProtocolConfig/ClusterBuilder, and the scenario-level mutation test:
+disabling the thrifty fallback must be caught by the scenario checkers
+(the ``progress`` liveness floor).
 """
 
 from __future__ import annotations
@@ -19,10 +21,12 @@ from repro.epaxos.replica import EPaxosReplica
 from repro.errors import ConfigurationError
 from repro.overlay import (
     DirectFanout,
+    HierarchicalGroupPlan,
     OverlayConfig,
     RelayAggregate,
     RelayFanout,
     RelayRequest,
+    RelaySubtree,
     ThriftyFanout,
     build_overlay,
 )
@@ -234,6 +238,166 @@ class TestEPaxosRelayFanout:
         else:
             pytest.fail("reshuffle never changed the group layout")
         assert ctx.metrics.counter("epaxos.group_reshuffles").value >= 1
+
+
+def commit_notification() -> ECommit:
+    return ECommit(instance=(0, 1), command=request().command, seq=1, deps=frozenset())
+
+
+class TestDeepRelayResilience:
+    """Depth > 1 behaviour: recursive commit fallback and zone-aware plans.
+
+    An interior relay (depth 1+) that forwards a fire-and-forget fan-out
+    runs the same ack/deadline/resend-subtree protocol towards its own
+    sub-relays that the root runs towards it, so a deep sub-relay crash
+    heals at the lowest live ancestor.  These tests drive one interior
+    relay directly through FakeContext and pin the per-depth counters.
+    """
+
+    @staticmethod
+    def interior_relay(**overlay_kwargs):
+        overlay = RelayFanout(commit_fallback_timeout=0.25, **overlay_kwargs)
+        return epaxos_replica(overlay=overlay, node_id=1, cluster=9)
+
+    @staticmethod
+    def deep_request(ack=True, depth=1, agg_id=7):
+        # Node 2 is a sub-relay covering {2, 3, 4}; node 5 is a plain leaf.
+        return RelayRequest(
+            inner=commit_notification(),
+            children=(
+                RelaySubtree(2, children=(RelaySubtree(3), RelaySubtree(4))),
+                RelaySubtree(5),
+            ),
+            agg_id=agg_id,
+            timeout=0.05,
+            expects_response=False,
+            ack=ack,
+            depth=depth,
+        )
+
+    def test_interior_relay_acks_parent_and_covers_sub_relays(self):
+        relay, ctx = self.interior_relay()
+        relay.on_message(0, self.deep_request())
+
+        # The sub-relay is forwarded with an ack demand, the leaf without;
+        # both see the depth incremented for the next level's counters.
+        forwarded = {dst: m for dst, m in ctx.sent_of_type(RelayRequest)}
+        assert set(forwarded) == {2, 5}
+        assert forwarded[2].ack and forwarded[2].depth == 2
+        assert not forwarded[5].ack and forwarded[5].depth == 2
+        # The relay itself acked its parent immediately (liveness signal).
+        acks = ctx.sent_of_type(RelayAggregate)
+        assert acks == [(0, acks[0][1])] and acks[0][1].origin == 1
+        # And armed a depth-1 commit round over the one sub-relay.
+        timers = [t for t in ctx.pending_timers()
+                  if t.callback == relay.overlay._commit_fallback]
+        assert len(timers) == 1 and timers[0].delay == 0.25
+        assert ctx.metrics.counter("epaxos.relay.depth.1.ack_rounds").value == 1
+
+    def test_sub_relay_ack_disarms_the_fallback(self):
+        relay, ctx = self.interior_relay()
+        relay.on_message(0, self.deep_request())
+        relay.on_message(2, RelayAggregate(agg_id=7, responses=(), origin=2))
+        timers = [t for t in ctx.timers
+                  if t.callback == relay.overlay._commit_fallback]
+        assert timers[0].cancelled
+        assert ctx.metrics.counter("epaxos.relay.depth.1.acks").value == 1
+        assert ctx.metrics.counter("epaxos.commit_fallbacks").value == 0
+
+    def test_silent_sub_relay_subtree_is_resent_directly(self):
+        relay, ctx = self.interior_relay()
+        relay.on_message(0, self.deep_request())
+        ctx.clear_sent()
+
+        timers = [t for t in ctx.pending_timers()
+                  if t.callback == relay.overlay._commit_fallback]
+        timers[0].fire()
+        # The whole silent subtree {2, 3, 4} gets a direct copy; the leaf 5
+        # owed no ack and is not re-sent.
+        resent = ctx.sent_of_type(ECommit)
+        assert sorted(dst for dst, _ in resent) == [2, 3, 4]
+        assert ctx.metrics.counter("epaxos.relay.depth.1.fallbacks").value == 1
+        assert ctx.metrics.counter("epaxos.relay.depth.1.fallback_resends").value == 3
+        assert ctx.metrics.counter("epaxos.commit_fallbacks").value == 1
+
+    def test_duplicate_commit_request_reacks_without_new_round(self):
+        # Re-delivery must re-ack (the parent may have missed the first ack)
+        # but never open a second commit round for the same fan-out.
+        relay, ctx = self.interior_relay()
+        relay.on_message(0, self.deep_request())
+        relay.on_message(0, self.deep_request())
+        acks = [m for dst, m in ctx.sent_of_type(RelayAggregate) if dst == 0]
+        assert len(acks) == 2
+        assert ctx.metrics.counter("epaxos.relay.depth.1.ack_rounds").value == 1
+
+    def test_disabled_recursion_keeps_first_hop_only_protocol(self):
+        # The ablation knob: interior relays forward ack-free and arm no
+        # round of their own -- a deep sub-relay crash is invisible to them
+        # (exactly what the deep-relay-crash mutation scenario measures).
+        relay, ctx = self.interior_relay(recursive_commit_fallback=False)
+        relay.on_message(0, self.deep_request())
+        forwarded = {dst: m for dst, m in ctx.sent_of_type(RelayRequest)}
+        assert not forwarded[2].ack and not forwarded[5].ack
+        assert [t for t in ctx.pending_timers()
+                if t.callback == relay.overlay._commit_fallback] == []
+        # The parent still gets its own-liveness ack.
+        assert [dst for dst, _ in ctx.sent_of_type(RelayAggregate)] == [0]
+
+    def test_region_groups_without_region_map_rejected(self):
+        # Satellite regression: requesting region-aligned groups on a
+        # topology with no region map must fail loudly at build time, not
+        # silently degrade to round-robin groups.
+        with pytest.raises(ConfigurationError, match="region map"):
+            RelayFanout(use_region_groups=True)
+        with pytest.raises(ConfigurationError, match="region map"):
+            build_cluster(protocol="epaxos", num_nodes=5, num_clients=1,
+                          overlay={"kind": "relay", "use_region_groups": True})
+
+    def test_mid_round_reshuffle_keeps_deep_session_alive(self):
+        # A reshuffle between a depth-2 round's fan-out and its responses
+        # rebuilds the whole multi-level plan but must not strand the
+        # in-flight aggregation session: the old round still completes
+        # against the tree it was sent down.
+        region_of = {n: ("virginia", "california", "oregon")[n % 3] for n in range(9)}
+        zone_of = {n: f"{region_of[n]}-z{(n // 3) % 2}" for n in range(9)}
+        relay, ctx = epaxos_replica(
+            overlay=RelayFanout(use_region_groups=True, region_of=region_of,
+                                zone_of=zone_of, levels=2),
+            node_id=1, cluster=9,
+        )
+        inner = EPreAccept(instance=(0, 1), command=request().command, seq=1,
+                           deps=frozenset())
+        relay.on_message(0, RelayRequest(
+            inner=inner,
+            children=(RelaySubtree(2, children=(RelaySubtree(3),)), RelaySubtree(5)),
+            agg_id=21, timeout=0.05, depth=1,
+        ))
+        assert relay.overlay.open_sessions == 1
+
+        before = relay.overlay.plan()
+        relay.reshuffle_groups()
+        after = relay.overlay.plan()
+        # The rebuilt plan is still hierarchical and zone-preserving...
+        assert isinstance(before, HierarchicalGroupPlan)
+        assert isinstance(after, HierarchicalGroupPlan)
+        for old, new in zip(before.zones, after.zones):
+            assert [sorted(z) for z in old] == [sorted(z) for z in new]
+        # ...and the old round is neither dropped nor double-opened.
+        assert relay.overlay.open_sessions == 1
+
+        for child, voters in ((2, (2, 3)), (5, (5,))):
+            votes = tuple(
+                EPreAcceptReply(instance=(0, 1), voter=v, ok=True, seq=1,
+                                deps=frozenset(), changed=False)
+                for v in voters
+            )
+            relay.on_message(child, RelayAggregate(agg_id=21, responses=votes,
+                                                   origin=child))
+        aggregates = ctx.sent_of_type(RelayAggregate)
+        assert len(aggregates) == 1
+        dst, aggregate = aggregates[0]
+        assert dst == 0 and aggregate.complete
+        assert {r.voter for r in aggregate.responses} == {1, 2, 3, 5}
 
 
 class TestThriftyFanout:

@@ -1,0 +1,50 @@
+"""Scenario-level mutation tests: break a mechanism, watch a checker fire.
+
+A resilience scenario is only as good as its floor: if disabling the very
+mechanism the scenario exercises still passes, the scenario measures
+nothing.  Each test here runs a library scenario twice -- once as shipped
+(must pass) and once with one knob surgically flipped (must trip the
+``progress`` liveness floor, and *only* that: safety checkers stay green,
+because these mutations lose performance, not correctness).
+
+The thrifty-fallback twin of these tests lives in ``test_overlay.py``
+(``test_thrifty_fallback_mutation_is_caught``); this module holds the
+mutations that are pure config flips, no monkeypatching needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.scenarios import get_scenario, run_scenario
+
+
+class TestDeepRelayCommitFallback:
+    """epaxos-planet-deep-relay-crash-49: crash a first-hop relay (node 0)
+    and an interior sub-relay (node 4) of fixed depth-2 zone trees."""
+
+    def test_scenario_as_shipped_clears_its_floor(self):
+        scenario = get_scenario("epaxos-planet-deep-relay-crash-49")
+        result = run_scenario(scenario)
+        result.raise_on_violations()
+        assert result.completed_requests >= scenario.min_completed
+        # The deep mechanism actually fired: interior relays (depth 1)
+        # detected their silent sub-relay and re-sent its subtree.
+        counters = result.counters()
+        assert counters.get("epaxos.relay.depth.0.fallbacks", 0) >= 1
+        assert counters.get("epaxos.relay.depth.1.fallbacks", 0) >= 1
+
+    def test_disabling_commit_fallback_trips_the_progress_floor(self):
+        scenario = get_scenario("epaxos-planet-deep-relay-crash-49")
+        overrides = dict(scenario.config_overrides)
+        overrides["overlay"] = {
+            **overrides["overlay"], "commit_fallback_timeout": None,
+        }
+        mutated = run_scenario(replace(scenario, config_overrides=overrides))
+        assert not mutated.ok
+        assert mutated.completed_requests < scenario.min_completed
+        # Only the liveness floor fires; losing commits to crashed relays
+        # slows the run down (stalled dependency graphs, client retries)
+        # but never corrupts agreed state.
+        assert any(v.checker == "progress" for v in mutated.violations)
+        assert all(v.checker == "progress" for v in mutated.violations)

@@ -1,0 +1,201 @@
+"""Region -> zone -> node hierarchy: placement, validation and latency.
+
+The hierarchy is strictly optional and strictly nested (flat < WAN <
+planet); these tests pin the three contracts the rest of the stack builds
+on:
+
+* **Validation** -- zones must nest inside their region, partition it, and
+  carry globally unique names.
+* **Degenerate equivalence** -- every region-level answer
+  (``region_of``/``region_map``) from a zoned topology matches its
+  zone-free equivalent, and a planet layout restricted to three one-zone
+  regions reproduces the paper's WAN round-robin placement.  This is the
+  structural half of the golden-fingerprint guarantee.
+* **Latency ordering** -- intra-zone < intra-region < cross-region, the
+  property that makes zone-aligned relay trees cheaper per edge.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.topologies import (
+    PLANET_INTRA_REGION_ONE_WAY,
+    PLANET_REGION_NAMES,
+    PLANET_ZONE_ONE_WAY,
+    paper_wan_regions,
+    planet_topology,
+    planet_zone_layout,
+    wan_topology,
+)
+from repro.errors import ConfigurationError
+from repro.net.latency import WANMatrixLatency
+from repro.net.topology import Region, Topology, Zone
+
+
+class TestZoneValidation:
+    def test_zone_node_outside_region_rejected(self):
+        with pytest.raises(ConfigurationError, match="outside"):
+            Topology(
+                node_ids=[0, 1, 2],
+                regions=[
+                    Region(
+                        name="virginia",
+                        nodes=(0, 1),
+                        zones=(Zone(name="virginia-z0", nodes=(0, 2)),),
+                    )
+                ],
+            )
+
+    def test_node_in_two_zones_rejected(self):
+        with pytest.raises(ConfigurationError, match="more than one zone"):
+            Topology(
+                node_ids=[0, 1],
+                regions=[
+                    Region(
+                        name="virginia",
+                        nodes=(0, 1),
+                        zones=(
+                            Zone(name="virginia-z0", nodes=(0, 1)),
+                            Zone(name="virginia-z1", nodes=(1,)),
+                        ),
+                    )
+                ],
+            )
+
+    def test_duplicate_zone_name_rejected(self):
+        with pytest.raises(ConfigurationError, match="duplicate zone name"):
+            Topology(
+                node_ids=[0, 1],
+                regions=[
+                    Region(
+                        name="virginia",
+                        nodes=(0,),
+                        zones=(Zone(name="z0", nodes=(0,)),),
+                    ),
+                    Region(
+                        name="oregon",
+                        nodes=(1,),
+                        zones=(Zone(name="z0", nodes=(1,)),),
+                    ),
+                ],
+            )
+
+    def test_partial_zone_coverage_allowed(self):
+        # Zones may cover only part of a region (the rest is unzoned).
+        topology = Topology(
+            node_ids=[0, 1, 2],
+            regions=[
+                Region(
+                    name="virginia",
+                    nodes=(0, 1, 2),
+                    zones=(Zone(name="virginia-z0", nodes=(0,)),),
+                )
+            ],
+        )
+        assert topology.zone_of(0) == "virginia-z0"
+        assert topology.zone_of(1) is None
+        assert topology.zone_map() == {0: "virginia-z0"}
+        assert topology.nodes_in_zone("virginia-z0") == [0]
+        with pytest.raises(ConfigurationError):
+            topology.nodes_in_zone("virginia-z9")
+
+
+class TestPlanetLayout:
+    @pytest.mark.parametrize("num_nodes", (9, 49, 50, 75, 81, 100))
+    @pytest.mark.parametrize("shape", ((3, 3), (5, 3), (5, 2)))
+    def test_layout_partitions_all_nodes(self, num_nodes, shape):
+        num_regions, zones_per_region = shape
+        layout = planet_zone_layout(num_nodes, num_regions, zones_per_region)
+        placed = [
+            node
+            for zones in layout.values()
+            for nodes in zones.values()
+            for node in nodes
+        ]
+        assert sorted(placed) == list(range(num_nodes))
+        assert len(layout) == num_regions
+        # Round-robin math: node i lives in region i % R, zone (i // R) % Z.
+        names = PLANET_REGION_NAMES[:num_regions]
+        for node in range(num_nodes):
+            region = names[node % num_regions]
+            zone = f"{region}-z{(node // num_regions) % zones_per_region}"
+            assert node in layout[region][zone]
+
+    def test_balanced_zones(self):
+        layout = planet_zone_layout(81, 3, 3)
+        sizes = [len(nodes) for zones in layout.values() for nodes in zones.values()]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_three_one_zone_regions_match_paper_wan_placement(self):
+        # Restricted to the paper's shape, the planet layout degenerates to
+        # the WAN round-robin assignment -- region for region.
+        layout = planet_zone_layout(15, num_regions=3, zones_per_region=1)
+        flattened = {
+            region: sorted(n for nodes in zones.values() for n in nodes)
+            for region, zones in layout.items()
+        }
+        assert flattened == {
+            region: sorted(nodes)
+            for region, nodes in paper_wan_regions(15).items()
+        }
+
+    def test_planet_topology_region_answers_match_wan_equivalent(self):
+        # The degenerate-equivalence contract: consumers that only speak
+        # regions see the same answers from a zoned topology as from the
+        # zone-free WAN construction over the same placement.
+        planet = planet_topology(15, num_regions=3, zones_per_region=3)
+        wan = wan_topology(region_nodes=paper_wan_regions(15))
+        assert planet.region_map() == wan.region_map()
+        for node in range(15):
+            assert planet.region_of(node) == wan.region_of(node)
+        # And the zoned topology actually carries its zones.
+        assert len(set(planet.zone_map().values())) == 9
+
+    def test_shape_validation(self):
+        with pytest.raises(ConfigurationError):
+            planet_zone_layout(10, num_regions=0)
+        with pytest.raises(ConfigurationError):
+            planet_zone_layout(10, num_regions=len(PLANET_REGION_NAMES) + 1)
+        with pytest.raises(ConfigurationError):
+            planet_zone_layout(10, zones_per_region=0)
+        with pytest.raises(ConfigurationError):
+            planet_zone_layout(0)
+
+
+class TestHierarchicalLatency:
+    def test_latency_ordering(self):
+        topology = planet_topology(49, num_regions=3, zones_per_region=3)
+        latency = topology.latency
+        # Node 0: virginia-z0.  Node 9: virginia-z0 (9 // 3 = 3, 3 % 3 = 0).
+        # Node 3: virginia-z1.  Node 1: california-z0.
+        assert topology.zone_of(0) == topology.zone_of(9) == "virginia-z0"
+        assert topology.zone_of(3) == "virginia-z1"
+        intra_zone = latency.base_delay(0, 9)
+        intra_region = latency.base_delay(0, 3)
+        cross_region = latency.base_delay(0, 1)
+        assert intra_zone == PLANET_ZONE_ONE_WAY
+        assert intra_region == PLANET_INTRA_REGION_ONE_WAY
+        assert intra_zone < intra_region < cross_region
+
+    def test_zone_slower_than_region_rejected(self):
+        with pytest.raises(ConfigurationError, match="zone_one_way"):
+            WANMatrixLatency(
+                node_region={0: "virginia", 1: "virginia"},
+                node_zone={0: "virginia-z0", 1: "virginia-z0"},
+                local_one_way=0.0001,
+                zone_one_way=0.0015,
+            )
+
+    def test_empty_zone_map_keeps_two_tier_behaviour(self):
+        # Flat/WAN topologies must see the historical two-tier model: the
+        # zone branch never fires with an empty node_zone map.
+        wan = wan_topology(num_nodes=9)
+        zoned = planet_topology(9, num_regions=3, zones_per_region=1)
+        for src in range(9):
+            for dst in range(9):
+                if wan.region_of(src) != wan.region_of(dst):
+                    assert wan.latency.base_delay(src, dst) > 0
+        # One zone per region: every same-region pair shares a zone, so the
+        # intra-zone price applies -- still strictly below cross-region.
+        assert zoned.latency.base_delay(0, 3) == PLANET_ZONE_ONE_WAY
